@@ -1,0 +1,37 @@
+//! Criterion bench backing Fig. 7: per-workload inference latency.
+//! LearnedWMP performs one histogram prediction; SingleWMP performs `s`
+//! per-query predictions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use learnedwmp_core::{
+    EvalConfig, EvalContext, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
+    SingleWmp,
+};
+use wmp_workloads::QueryRecord;
+
+fn bench_inference(c: &mut Criterion) {
+    let log = wmp_workloads::job::generate(2_300, 2).expect("job generation");
+    let ctx = EvalContext::new(&log, EvalConfig { k_templates: 40, ..Default::default() });
+    let workload: Vec<&QueryRecord> = ctx.test[..10].to_vec();
+    let mut group = c.benchmark_group("fig7_inference");
+    for kind in [ModelKind::Ridge, ModelKind::Xgb] {
+        let learned = LearnedWmp::train(
+            LearnedWmpConfig { model: kind, ..Default::default() },
+            Box::new(PlanKMeansTemplates::new(40, 42)),
+            &ctx.train,
+            &log.catalog,
+        )
+        .expect("training");
+        let single = SingleWmp::train(kind, &ctx.train).expect("training");
+        group.bench_function(format!("learnedwmp_{}", kind.label()), |b| {
+            b.iter(|| learned.predict_workload(&workload).expect("prediction"))
+        });
+        group.bench_function(format!("singlewmp_{}", kind.label()), |b| {
+            b.iter(|| single.predict_workload(&workload).expect("prediction"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the substrate hot paths: planning, featurization,
+//! memory simulation, template assignment, and histogram construction —
+//! the per-query costs behind the paper's TR/IN pipeline steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use learnedwmp_core::{build_histogram, HistogramMode, PlanKMeansTemplates, TemplateLearner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wmp_plan::features::featurize_plan;
+use wmp_plan::Planner;
+use wmp_sim::{DbmsHeuristicEstimator, ExecutorSimulator};
+use wmp_workloads::QueryRecord;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cat = wmp_workloads::tpcds::catalog();
+    let templates = wmp_workloads::tpcds::templates();
+    let mut rng = StdRng::seed_from_u64(7);
+    let spec = wmp_workloads::tpcds::instantiate(&cat, &templates[1], 1, &mut rng);
+    let planner = Planner::new(&cat);
+    let plan = planner.plan(&spec).expect("plan");
+    let sim = ExecutorSimulator::new();
+    let heur = DbmsHeuristicEstimator::new();
+
+    c.bench_function("planner_plan_star_query", |b| {
+        b.iter(|| planner.plan(&spec).expect("plan"))
+    });
+    c.bench_function("featurize_plan", |b| b.iter(|| featurize_plan(&plan)));
+    c.bench_function("executor_simulate_memory", |b| b.iter(|| sim.peak_memory_mb(&plan, 1)));
+    c.bench_function("dbms_heuristic_estimate", |b| b.iter(|| heur.estimate_mb(&plan)));
+
+    let log = wmp_workloads::tpcc::generate(1_000, 3).expect("tpcc generation");
+    let refs: Vec<&QueryRecord> = log.records.iter().collect();
+    let mut learner = PlanKMeansTemplates::new(12, 42);
+    learner.fit(&refs, &log.catalog).expect("template fit");
+    c.bench_function("template_assign_query", |b| {
+        b.iter(|| learner.assign(refs[0]).expect("assign"))
+    });
+    let assignments: Vec<usize> =
+        refs[..10].iter().map(|r| learner.assign(r).expect("assign")).collect();
+    c.bench_function("histogram_build_s10", |b| {
+        b.iter(|| build_histogram(&assignments, 12, HistogramMode::Counts))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench backing Fig. 6: LearnedWMP vs. SingleWMP training time.
+//! Uses the full JOB corpus (2,300 queries) — small enough for repeated
+//! measurement, large enough to show the ~s× training-row advantage.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use learnedwmp_core::{
+    EvalConfig, EvalContext, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
+    SingleWmp,
+};
+
+fn bench_training(c: &mut Criterion) {
+    let log = wmp_workloads::job::generate(2_300, 2).expect("job generation");
+    let ctx = EvalContext::new(&log, EvalConfig { k_templates: 40, ..Default::default() });
+    let mut group = c.benchmark_group("fig6_training");
+    group.sample_size(10);
+    for kind in [ModelKind::Ridge, ModelKind::Dt, ModelKind::Xgb] {
+        group.bench_function(format!("learnedwmp_{}", kind.label()), |b| {
+            b.iter_batched(
+                || Box::new(PlanKMeansTemplates::new(40, 42)),
+                |templates| {
+                    LearnedWmp::train(
+                        LearnedWmpConfig { model: kind, ..Default::default() },
+                        templates,
+                        &ctx.train,
+                        &log.catalog,
+                    )
+                    .expect("training")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("singlewmp_{}", kind.label()), |b| {
+            b.iter(|| SingleWmp::train(kind, &ctx.train).expect("training"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 4 — RMSE of every model on TPC-DS / JOB / TPC-C (smaller is better),
+//! plus the headline error-reduction percentages vs. the DBMS baseline.
+
+use learnedwmp_core::{EvalContext, ModelKind};
+use wmp_bench::{print_table, Benchmarks, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let benches = Benchmarks::generate(opts.experiment_config());
+    for (name, log, cfg) in benches.datasets() {
+        let ctx = EvalContext::new(log, cfg);
+        let reports = ctx.evaluate_all(&ModelKind::ALL).expect("evaluation");
+        println!("\nFig. 4 ({name}): Root Mean Squared Error (MB, smaller is better)");
+        let rows: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| vec![r.tag(), format!("{:.1}", r.rmse)])
+            .collect();
+        print_table(&["model", "rmse"], &rows);
+        let dbms = reports.iter().find(|r| r.approach == "SingleWMP-DBMS").expect("baseline");
+        let best = reports
+            .iter()
+            .filter(|r| r.approach == "LearnedWMP")
+            .min_by(|a, b| a.rmse.partial_cmp(&b.rmse).expect("finite"))
+            .expect("learned rows");
+        println!(
+            "  -> best LearnedWMP ({}) reduces DBMS estimation error by {:.1}%",
+            best.tag(),
+            (1.0 - best.rmse / dbms.rmse) * 100.0
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 5 — estimation-error residual distributions (violin-plot summaries):
+//! quartiles, IQR, mean, and skew of `y − ŷ` per model. A good model has a
+//! narrow violin centered at zero; the DBMS baseline is wide and skewed.
+
+use learnedwmp_core::{EvalContext, ModelKind};
+use wmp_bench::{print_table, Benchmarks, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let benches = Benchmarks::generate(opts.experiment_config());
+    for (name, log, cfg) in benches.datasets() {
+        let ctx = EvalContext::new(log, cfg);
+        let reports = ctx.evaluate_all(&ModelKind::ALL).expect("evaluation");
+        println!("\nFig. 5 ({name}): residual distributions (MB; residual = actual - predicted)");
+        let rows: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| {
+                let s = &r.residual_summary;
+                vec![
+                    r.tag(),
+                    format!("{:.1}", s.min),
+                    format!("{:.1}", s.q1),
+                    format!("{:.1}", s.median),
+                    format!("{:.1}", s.q3),
+                    format!("{:.1}", s.max),
+                    format!("{:.1}", s.iqr()),
+                    format!("{:.1}", s.mean),
+                    format!("{:.2}", s.skewness),
+                ]
+            })
+            .collect();
+        print_table(
+            &["model", "min", "q1", "median", "q3", "max", "iqr", "mean", "skew"],
+            &rows,
+        );
+    }
+}

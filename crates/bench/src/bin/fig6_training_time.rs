@@ -1,0 +1,31 @@
+//! Fig. 6 — ML model training time (ms). LearnedWMP variants train on ~s×
+//! fewer examples than SingleWMP and are correspondingly faster. The DBMS
+//! baseline has no training cost and is excluded, as in the paper.
+
+use learnedwmp_core::{EvalContext, ModelKind};
+use wmp_bench::{print_table, Benchmarks, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let benches = Benchmarks::generate(opts.experiment_config());
+    for (name, log, cfg) in benches.datasets() {
+        let ctx = EvalContext::new(log, cfg);
+        println!("\nFig. 6 ({name}): training time (ms)");
+        let mut rows = Vec::new();
+        for kind in ModelKind::ALL {
+            let single = ctx.evaluate_single(kind).expect("single");
+            let learned = ctx.evaluate_learned(kind).expect("learned");
+            rows.push(vec![
+                kind.label().to_string(),
+                format!("{:.1}", single.train_ms),
+                format!("{:.1}", learned.train_ms),
+                format!("{:.1}", learned.total_train_ms),
+                format!("{:.2}x", single.train_ms / learned.train_ms.max(1e-9)),
+            ]);
+        }
+        print_table(
+            &["model", "SingleWMP", "LearnedWMP", "LearnedWMP(+templates)", "speedup"],
+            &rows,
+        );
+    }
+}

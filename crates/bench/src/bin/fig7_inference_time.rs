@@ -1,0 +1,30 @@
+//! Fig. 7 — inference time per workload (µs). LearnedWMP performs one
+//! histogram-level prediction where SingleWMP performs `s` per-query
+//! predictions, giving the paper's 3–10× acceleration.
+
+use learnedwmp_core::{EvalContext, ModelKind};
+use wmp_bench::{print_table, Benchmarks, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let benches = Benchmarks::generate(opts.experiment_config());
+    for (name, log, cfg) in benches.datasets() {
+        let ctx = EvalContext::new(log, cfg);
+        println!("\nFig. 7 ({name}): inference time per workload (us)");
+        let mut rows = Vec::new();
+        for kind in ModelKind::ALL {
+            let single = ctx.evaluate_single(kind).expect("single");
+            let learned = ctx.evaluate_learned(kind).expect("learned");
+            rows.push(vec![
+                kind.label().to_string(),
+                format!("{:.1}", single.infer_us_per_workload),
+                format!("{:.1}", learned.infer_us_per_workload),
+                format!(
+                    "{:.2}x",
+                    single.infer_us_per_workload / learned.infer_us_per_workload.max(1e-9)
+                ),
+            ]);
+        }
+        print_table(&["model", "SingleWMP", "LearnedWMP", "speedup"], &rows);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fig. 8 — model size (kB). LearnedWMP's tree/DNN models are smaller (fewer
+//! training rows → fewer nodes; smaller tuned network); Ridge is the paper's
+//! documented exception (k histogram features > plan features).
+
+use learnedwmp_core::{EvalContext, ModelKind};
+use wmp_bench::{print_table, Benchmarks, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let benches = Benchmarks::generate(opts.experiment_config());
+    for (name, log, cfg) in benches.datasets() {
+        let ctx = EvalContext::new(log, cfg);
+        println!("\nFig. 8 ({name}): model size (kB)");
+        let mut rows = Vec::new();
+        for kind in ModelKind::ALL {
+            let single = ctx.evaluate_single(kind).expect("single");
+            let learned = ctx.evaluate_learned(kind).expect("learned");
+            rows.push(vec![
+                kind.label().to_string(),
+                format!("{:.1}", single.model_kb),
+                format!("{:.1}", learned.model_kb),
+                format!("{:+.0}%", (learned.model_kb / single.model_kb.max(1e-9) - 1.0) * 100.0),
+            ]);
+        }
+        print_table(&["model", "SingleWMP", "LearnedWMP", "learned vs single"], &rows);
+    }
+}

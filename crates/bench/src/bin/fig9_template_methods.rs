@@ -1,0 +1,58 @@
+//! Fig. 9 — accuracy of LearnedWMP-XGB on JOB under five template-learning
+//! methods: query-plan k-means (the paper's method), rule-based,
+//! bag-of-words, text-mining, and word embeddings — plus the §V DBSCAN
+//! comparison as a bonus row.
+
+use learnedwmp_core::{
+    DbscanTemplates, EvalContext, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
+    RuleBasedTemplates, TemplateLearner, TextMode, TextTemplates,
+};
+use wmp_bench::{print_table, Benchmarks, Options};
+use wmp_mlkit::metrics::{mape, rmse};
+
+fn main() {
+    let opts = Options::from_args();
+    let benches = Benchmarks::generate(opts.experiment_config());
+    let (name, log, cfg) = benches
+        .datasets()
+        .into_iter()
+        .find(|(n, _, _)| *n == "JOB")
+        .expect("JOB dataset");
+    let k = cfg.k_templates;
+    let seed = cfg.seed;
+    let ctx = EvalContext::new(log, cfg.clone());
+    let learners: Vec<Box<dyn TemplateLearner>> = vec![
+        Box::new(PlanKMeansTemplates::new(k, seed)),
+        Box::new(RuleBasedTemplates::new()),
+        Box::new(TextTemplates::new(TextMode::BagOfWords, k, seed)),
+        Box::new(TextTemplates::new(TextMode::TextMining, k, seed)),
+        Box::new(TextTemplates::new(TextMode::Embedding, k, seed)),
+        Box::new(DbscanTemplates::new(1.0, 5)),
+    ];
+    println!("\nFig. 9 ({name}): LearnedWMP-XGB accuracy by template-learning method");
+    let mut rows = Vec::new();
+    for learner in learners {
+        let label = learner.name().to_string();
+        let wmp = LearnedWmp::train(
+            LearnedWmpConfig {
+                model: ModelKind::Xgb,
+                batch_size: cfg.batch_size,
+                seed,
+                ..LearnedWmpConfig::default()
+            },
+            learner,
+            &ctx.train,
+            &log.catalog,
+        )
+        .expect("training");
+        let preds = wmp.predict_workloads(&ctx.test, &ctx.test_workloads).expect("prediction");
+        rows.push(vec![
+            label,
+            format!("{}", wmp.templates().n_templates()),
+            format!("{:.1}", rmse(&ctx.y_test, &preds).expect("rmse")),
+            format!("{:.1}", mape(&ctx.y_test, &preds).expect("mape")),
+        ]);
+    }
+    print_table(&["method", "templates", "rmse", "mape%"], &rows);
+    println!("  -> the paper's query-plan method should lead; rule/text methods trail");
+}

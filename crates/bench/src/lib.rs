@@ -1,0 +1,163 @@
+//! # wmp-bench — the experiment harness
+//!
+//! One binary per figure of the paper's evaluation (§IV): `fig4_rmse`
+//! through `fig11_mape_vs_batch`, plus `ablations` and `run_all`. Criterion
+//! benches (`training`, `inference`, `pipeline`) cover the timing-sensitive
+//! paths. Every binary accepts `--scale <f>` (default 1.0 = the paper's
+//! corpus sizes) and `--seed <n>`.
+
+#![warn(missing_docs)]
+
+use learnedwmp_core::{EvalConfig, ExperimentConfig};
+use wmp_workloads::QueryLog;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Corpus scale in `(0, 1]`; 1.0 reproduces the paper's sizes.
+    pub scale: f64,
+    /// Split/batching seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: 1.0, seed: 42 }
+    }
+}
+
+impl Options {
+    /// Parses `--scale <f>` and `--seed <n>` from `std::env::args`.
+    /// Unknown arguments abort with a usage message.
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    opts.scale = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("missing/invalid value for --scale"));
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("missing/invalid value for --seed"));
+                    i += 2;
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument: {other}")),
+            }
+        }
+        opts
+    }
+
+    /// The experiment configuration at this scale.
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::scaled(self.scale);
+        cfg.split_seed = self.seed;
+        cfg
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <figure-binary> [--scale <0..1>] [--seed <n>]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// The three generated benchmark logs.
+pub struct Benchmarks {
+    /// TPC-DS-style log.
+    pub tpcds: QueryLog,
+    /// JOB-style log.
+    pub job: QueryLog,
+    /// TPC-C-style log.
+    pub tpcc: QueryLog,
+    /// The configuration they were generated with.
+    pub cfg: ExperimentConfig,
+}
+
+impl Benchmarks {
+    /// Generates all three benchmarks at the configured scale.
+    ///
+    /// # Panics
+    /// Panics on generator bugs (planning failures) — these are programming
+    /// errors, not runtime conditions.
+    pub fn generate(cfg: ExperimentConfig) -> Self {
+        let tpcds = wmp_workloads::tpcds::generate(cfg.tpcds.n_queries, cfg.tpcds.gen_seed)
+            .expect("tpcds generation");
+        let job = wmp_workloads::job::generate(cfg.job.n_queries, cfg.job.gen_seed)
+            .expect("job generation");
+        let tpcc = wmp_workloads::tpcc::generate(cfg.tpcc.n_queries, cfg.tpcc.gen_seed)
+            .expect("tpcc generation");
+        Benchmarks { tpcds, job, tpcc, cfg }
+    }
+
+    /// `(name, log, eval-config)` triples in the paper's dataset order.
+    pub fn datasets(&self) -> Vec<(&'static str, &QueryLog, EvalConfig)> {
+        let mk = |k: usize| EvalConfig {
+            batch_size: self.cfg.batch_size,
+            k_templates: k,
+            train_frac: self.cfg.train_frac,
+            seed: self.cfg.split_seed,
+            ..EvalConfig::default()
+        };
+        vec![
+            ("TPC-DS", &self.tpcds, mk(self.cfg.tpcds.k_templates)),
+            ("JOB", &self.job, mk(self.cfg.job.k_templates)),
+            ("TPC-C", &self.tpcc, mk(self.cfg.tpcc.k_templates)),
+        ]
+    }
+}
+
+/// Prints an aligned table: a header row then value rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_paper_scale() {
+        let o = Options::default();
+        assert_eq!(o.scale, 1.0);
+        let cfg = o.experiment_config();
+        assert_eq!(cfg.tpcds.n_queries, 93_000);
+    }
+
+    #[test]
+    fn benchmarks_generate_at_tiny_scale() {
+        let b = Benchmarks::generate(ExperimentConfig::quick());
+        assert!(!b.tpcds.is_empty());
+        assert!(!b.job.is_empty());
+        assert!(!b.tpcc.is_empty());
+        let ds = b.datasets();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0].0, "TPC-DS");
+        assert_eq!(ds[2].2.k_templates, b.cfg.tpcc.k_templates);
+    }
+}

@@ -1,0 +1,310 @@
+//! The evaluation harness behind every figure: trains LearnedWMP and
+//! SingleWMP variants on a benchmark log, evaluates them on held-out test
+//! workloads, and reports accuracy (RMSE/MAPE/residuals), timing, and model
+//! size — the full set of measurements Figs. 4–8 are drawn from.
+
+use std::time::Instant;
+
+use wmp_mlkit::metrics::{mape, residuals, rmse, ResidualSummary};
+use wmp_mlkit::MlResult;
+use wmp_workloads::{QueryLog, QueryRecord};
+
+use crate::histogram::HistogramMode;
+use crate::learned::{LearnedWmp, LearnedWmpConfig};
+use crate::model::ModelKind;
+use crate::single::{SingleWmp, SingleWmpDbms};
+use crate::template::PlanKMeansTemplates;
+use crate::workload::{batch_workloads, LabelMode, Workload};
+
+/// Evaluation protocol parameters.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Workload batch size `s`.
+    pub batch_size: usize,
+    /// Number of templates `k` for LearnedWMP.
+    pub k_templates: usize,
+    /// Train fraction (paper: 0.8).
+    pub train_frac: f64,
+    /// Split / batching seed.
+    pub seed: u64,
+    /// Label aggregation.
+    pub label_mode: LabelMode,
+    /// Histogram normalization.
+    pub histogram_mode: HistogramMode,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            batch_size: 10,
+            k_templates: 30,
+            train_frac: 0.8,
+            seed: 42,
+            label_mode: LabelMode::Sum,
+            histogram_mode: HistogramMode::Counts,
+        }
+    }
+}
+
+/// One evaluated model — one bar in Figs. 4–8.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// "LearnedWMP", "SingleWMP", or "SingleWMP-DBMS".
+    pub approach: &'static str,
+    /// Learner label ("DNN", ..., or "heuristic").
+    pub model: String,
+    /// RMSE over test workloads (Fig. 4).
+    pub rmse: f64,
+    /// MAPE over test workloads (Figs. 10–11 use this metric).
+    pub mape: f64,
+    /// Violin summary of residuals (Fig. 5).
+    pub residual_summary: ResidualSummary,
+    /// Raw signed residuals `y − ŷ`.
+    pub residuals: Vec<f64>,
+    /// Regressor fit time in ms (Fig. 6).
+    pub train_ms: f64,
+    /// End-to-end training including template learning (LearnedWMP only).
+    pub total_train_ms: f64,
+    /// Mean inference latency per workload in µs (Fig. 7).
+    pub infer_us_per_workload: f64,
+    /// Model size in kB (Fig. 8).
+    pub model_kb: f64,
+}
+
+impl ModelReport {
+    /// Tag used in figure outputs, e.g. "LearnedWMP-XGB".
+    pub fn tag(&self) -> String {
+        if self.approach == "SingleWMP-DBMS" {
+            self.approach.to_string()
+        } else {
+            format!("{}-{}", self.approach, self.model)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one call site; a struct would just rename the fields
+fn report_from_predictions(
+    approach: &'static str,
+    model: String,
+    y: &[f64],
+    preds: &[f64],
+    train_ms: f64,
+    total_train_ms: f64,
+    infer_us_per_workload: f64,
+    model_kb: f64,
+) -> MlResult<ModelReport> {
+    let res = residuals(y, preds)?;
+    Ok(ModelReport {
+        approach,
+        model,
+        rmse: rmse(y, preds)?,
+        mape: mape(y, preds)?,
+        residual_summary: ResidualSummary::from_residuals(&res)?,
+        residuals: res,
+        train_ms,
+        total_train_ms,
+        infer_us_per_workload,
+        model_kb,
+    })
+}
+
+/// A prepared train/test environment for one benchmark log.
+pub struct EvalContext<'a> {
+    /// The benchmark log.
+    pub log: &'a QueryLog,
+    /// Protocol parameters.
+    pub config: EvalConfig,
+    /// Training-partition records.
+    pub train: Vec<&'a QueryRecord>,
+    /// Test-partition records.
+    pub test: Vec<&'a QueryRecord>,
+    /// Batched test workloads with labels.
+    pub test_workloads: Vec<Workload>,
+    /// Test labels `y` per workload.
+    pub y_test: Vec<f64>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Splits the log and batches the test partition into workloads.
+    pub fn new(log: &'a QueryLog, config: EvalConfig) -> Self {
+        let (train_idx, test_idx) = log.train_test_split(config.train_frac, config.seed);
+        let train: Vec<&QueryRecord> = train_idx.iter().map(|&i| &log.records[i]).collect();
+        let test: Vec<&QueryRecord> = test_idx.iter().map(|&i| &log.records[i]).collect();
+        let test_workloads = batch_workloads(
+            &test,
+            config.batch_size,
+            config.seed.wrapping_add(1),
+            config.label_mode,
+        );
+        let y_test: Vec<f64> = test_workloads.iter().map(|w| w.y).collect();
+        EvalContext { log, config, train, test, test_workloads, y_test }
+    }
+
+    /// Evaluates the SingleWMP-DBMS heuristic baseline.
+    ///
+    /// # Errors
+    /// Propagates metric errors (e.g. empty test set).
+    pub fn evaluate_dbms(&self) -> MlResult<ModelReport> {
+        let dbms = SingleWmpDbms;
+        let t0 = Instant::now();
+        let preds = dbms.predict_workloads(&self.test, &self.test_workloads);
+        let infer_us =
+            t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
+        report_from_predictions(
+            "SingleWMP-DBMS",
+            "heuristic".to_string(),
+            &self.y_test,
+            &preds,
+            0.0,
+            0.0,
+            infer_us,
+            0.0,
+        )
+    }
+
+    /// Trains and evaluates a LearnedWMP variant with plan-k-means templates.
+    ///
+    /// # Errors
+    /// Propagates training/prediction errors.
+    pub fn evaluate_learned(&self, model: ModelKind) -> MlResult<ModelReport> {
+        let templates =
+            Box::new(PlanKMeansTemplates::new(self.config.k_templates, self.config.seed));
+        let wmp = LearnedWmp::train(
+            LearnedWmpConfig {
+                model,
+                batch_size: self.config.batch_size,
+                label_mode: self.config.label_mode,
+                histogram_mode: self.config.histogram_mode,
+                seed: self.config.seed,
+            },
+            templates,
+            &self.train,
+            &self.log.catalog,
+        )?;
+        let t0 = Instant::now();
+        let preds = wmp.predict_workloads(&self.test, &self.test_workloads)?;
+        let infer_us =
+            t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
+        report_from_predictions(
+            "LearnedWMP",
+            model.label().to_string(),
+            &self.y_test,
+            &preds,
+            wmp.timings.fit_ms,
+            wmp.timings.total_ms(),
+            infer_us,
+            wmp.footprint_bytes() as f64 / 1024.0,
+        )
+    }
+
+    /// Trains and evaluates a SingleWMP ML variant.
+    ///
+    /// # Errors
+    /// Propagates training/prediction errors.
+    pub fn evaluate_single(&self, model: ModelKind) -> MlResult<ModelReport> {
+        let m = SingleWmp::train(model, &self.train)?;
+        let t0 = Instant::now();
+        let preds = m.predict_workloads(&self.test, &self.test_workloads)?;
+        let infer_us =
+            t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
+        report_from_predictions(
+            "SingleWMP",
+            m.model().label().to_string(),
+            &self.y_test,
+            &preds,
+            m.fit_ms,
+            m.fit_ms,
+            infer_us,
+            m.footprint_bytes() as f64 / 1024.0,
+        )
+    }
+
+    /// Full benchmark sweep: DBMS baseline + every learner under both
+    /// approaches (the content of one subfigure of Figs. 4–8).
+    ///
+    /// # Errors
+    /// Propagates any model's failure.
+    pub fn evaluate_all(&self, models: &[ModelKind]) -> MlResult<Vec<ModelReport>> {
+        let mut out = Vec::with_capacity(1 + 2 * models.len());
+        out.push(self.evaluate_dbms()?);
+        for &m in models {
+            out.push(self.evaluate_single(m)?);
+        }
+        for &m in models {
+            out.push(self.evaluate_learned(m)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_log() -> QueryLog {
+        wmp_workloads::tpcc::generate(800, 5).unwrap()
+    }
+
+    #[test]
+    fn context_splits_and_batches() {
+        let log = ctx_log();
+        let ctx = EvalContext::new(&log, EvalConfig::default());
+        assert_eq!(ctx.train.len(), 640);
+        assert_eq!(ctx.test.len(), 160);
+        assert_eq!(ctx.test_workloads.len(), 16);
+        assert_eq!(ctx.y_test.len(), 16);
+        assert!(ctx.y_test.iter().all(|y| *y > 0.0));
+    }
+
+    #[test]
+    fn dbms_baseline_reports_metrics() {
+        let log = ctx_log();
+        let ctx = EvalContext::new(&log, EvalConfig::default());
+        let r = ctx.evaluate_dbms().unwrap();
+        assert_eq!(r.tag(), "SingleWMP-DBMS");
+        assert!(r.rmse > 0.0);
+        assert!(r.mape > 0.0);
+        assert_eq!(r.train_ms, 0.0);
+        assert_eq!(r.model_kb, 0.0);
+        assert_eq!(r.residuals.len(), 16);
+    }
+
+    #[test]
+    fn learned_beats_dbms_on_rmse() {
+        let log = ctx_log();
+        let ctx = EvalContext::new(&log, EvalConfig { k_templates: 12, ..Default::default() });
+        let dbms = ctx.evaluate_dbms().unwrap();
+        let learned = ctx.evaluate_learned(ModelKind::Xgb).unwrap();
+        assert!(
+            learned.rmse < dbms.rmse,
+            "LearnedWMP-XGB ({}) must beat DBMS ({})",
+            learned.rmse,
+            dbms.rmse
+        );
+        assert_eq!(learned.tag(), "LearnedWMP-XGB");
+        assert!(learned.model_kb > 0.0);
+        assert!(learned.train_ms > 0.0);
+        assert!(learned.total_train_ms >= learned.train_ms);
+    }
+
+    #[test]
+    fn single_ml_also_reports() {
+        let log = ctx_log();
+        let ctx = EvalContext::new(&log, EvalConfig::default());
+        let single = ctx.evaluate_single(ModelKind::Dt).unwrap();
+        assert_eq!(single.tag(), "SingleWMP-DT");
+        assert!(single.rmse.is_finite());
+        assert!(single.infer_us_per_workload > 0.0);
+    }
+
+    #[test]
+    fn evaluate_all_produces_one_row_per_model() {
+        let log = ctx_log();
+        let ctx = EvalContext::new(&log, EvalConfig { k_templates: 8, ..Default::default() });
+        let rows = ctx.evaluate_all(&[ModelKind::Ridge, ModelKind::Dt]).unwrap();
+        assert_eq!(rows.len(), 5); // DBMS + 2 single + 2 learned
+        let tags: Vec<String> = rows.iter().map(|r| r.tag()).collect();
+        assert!(tags.contains(&"SingleWMP-Ridge".to_string()));
+        assert!(tags.contains(&"LearnedWMP-DT".to_string()));
+    }
+}

@@ -1,0 +1,78 @@
+//! Workload histograms (paper §II, Algorithm 2): the length-`k` vector of
+//! per-template query counts that LearnedWMP's distribution regressor
+//! consumes.
+
+/// Raw counts vs. normalized frequencies — the `ablation_histogram` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramMode {
+    /// `H[j]` = number of workload queries in template `j` (the paper's
+    /// definition; Σ H = s).
+    Counts,
+    /// `H[j]` divided by the workload size (Σ H = 1) — invariant to `s`,
+    /// useful for variable-length workloads.
+    Frequencies,
+}
+
+/// Builds a workload histogram from per-query template assignments.
+///
+/// # Panics
+/// Panics if an assignment is `>= k` (a template-learner contract violation).
+pub fn build_histogram(assignments: &[usize], k: usize, mode: HistogramMode) -> Vec<f64> {
+    let mut h = vec![0.0; k];
+    for &a in assignments {
+        assert!(a < k, "template id {a} out of range (k = {k})");
+        h[a] += 1.0;
+    }
+    if mode == HistogramMode::Frequencies && !assignments.is_empty() {
+        let n = assignments.len() as f64;
+        for v in &mut h {
+            *v /= n;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_worked_example() {
+        // Fig. 3: 9 queries, k = 4 templates, histogram [3, 4, 0, 2].
+        let assignments = [0, 0, 0, 1, 1, 1, 1, 3, 3];
+        let h = build_histogram(&assignments, 4, HistogramMode::Counts);
+        assert_eq!(h, vec![3.0, 4.0, 0.0, 2.0]);
+        // Σ H = |Q| (paper eq. 4/8).
+        assert_eq!(h.iter().sum::<f64>(), 9.0);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let assignments = [0, 1, 1, 2];
+        let h = build_histogram(&assignments, 3, HistogramMode::Frequencies);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload_gives_zero_histogram() {
+        let h = build_histogram(&[], 5, HistogramMode::Counts);
+        assert_eq!(h, vec![0.0; 5]);
+        let h = build_histogram(&[], 5, HistogramMode::Frequencies);
+        assert_eq!(h, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn histograms_are_sparse_for_concentrated_workloads() {
+        let assignments = [7usize; 10];
+        let h = build_histogram(&assignments, 50, HistogramMode::Counts);
+        assert_eq!(h[7], 10.0);
+        assert_eq!(h.iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_assignment_panics() {
+        build_histogram(&[3], 3, HistogramMode::Counts);
+    }
+}

@@ -1,0 +1,292 @@
+//! The LearnedWMP model (paper §III): training pipeline TR3–TR6 and the
+//! inference pipeline IN1–IN5.
+
+use std::time::Instant;
+
+use wmp_mlkit::{Matrix, MlError, MlResult, Regressor};
+use wmp_plan::Catalog;
+use wmp_workloads::QueryRecord;
+
+use crate::histogram::{build_histogram, HistogramMode};
+use crate::model::{Approach, ModelKind};
+use crate::template::TemplateLearner;
+use crate::workload::{batch_workloads, LabelMode, Workload};
+
+/// LearnedWMP hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LearnedWmpConfig {
+    /// Learner family for the distribution regressor (TR6).
+    pub model: ModelKind,
+    /// Workload batch size `s` (TR4; the paper settles on 10).
+    pub batch_size: usize,
+    /// Label aggregation (sum per the paper's prose; max as ablation).
+    pub label_mode: LabelMode,
+    /// Histogram normalization (counts per the paper; frequencies ablation).
+    pub histogram_mode: HistogramMode,
+    /// Seed for workload batching.
+    pub seed: u64,
+}
+
+impl Default for LearnedWmpConfig {
+    fn default() -> Self {
+        LearnedWmpConfig {
+            model: ModelKind::Xgb,
+            batch_size: 10,
+            label_mode: LabelMode::Sum,
+            histogram_mode: HistogramMode::Counts,
+            seed: 42,
+        }
+    }
+}
+
+/// Wall-clock breakdown of a training run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainTimings {
+    /// TR3: template learning (k-means over plan features).
+    pub template_ms: f64,
+    /// TR4–TR5: batching + histogram construction.
+    pub histogram_ms: f64,
+    /// TR6: regressor fitting — the number comparable to the paper's Fig. 6.
+    pub fit_ms: f64,
+}
+
+impl TrainTimings {
+    /// End-to-end training time.
+    pub fn total_ms(&self) -> f64 {
+        self.template_ms + self.histogram_ms + self.fit_ms
+    }
+}
+
+/// A trained LearnedWMP model: templates + distribution regressor.
+pub struct LearnedWmp {
+    config: LearnedWmpConfig,
+    templates: Box<dyn TemplateLearner>,
+    regressor: Box<dyn Regressor>,
+    /// Training wall-clock breakdown.
+    pub timings: TrainTimings,
+    /// Number of training workloads the regressor saw.
+    pub n_train_workloads: usize,
+}
+
+impl LearnedWmp {
+    /// Trains the full pipeline (TR3–TR6) on a training log.
+    ///
+    /// # Errors
+    /// Propagates template-learning and regression errors; fails on an empty
+    /// training set or when fewer than one full workload can be formed.
+    pub fn train(
+        config: LearnedWmpConfig,
+        templates: Box<dyn TemplateLearner>,
+        records: &[&QueryRecord],
+        catalog: &Catalog,
+    ) -> MlResult<Self> {
+        let workloads = if records.is_empty() {
+            Vec::new()
+        } else {
+            batch_workloads(records, config.batch_size, config.seed, config.label_mode)
+        };
+        Self::train_with_workloads(config, templates, records, catalog, workloads)
+    }
+
+    /// Trains on pre-built workloads — supports the variable-length-workload
+    /// extension (§I: "the design can easily be extended to work with
+    /// variable-length workloads"): pass batches from
+    /// [`crate::workload::batch_workloads_variable`].
+    ///
+    /// # Errors
+    /// Same conditions as [`LearnedWmp::train`].
+    pub fn train_with_workloads(
+        config: LearnedWmpConfig,
+        mut templates: Box<dyn TemplateLearner>,
+        records: &[&QueryRecord],
+        catalog: &Catalog,
+        workloads: Vec<crate::workload::Workload>,
+    ) -> MlResult<Self> {
+        if records.is_empty() {
+            return Err(MlError::EmptyInput("LearnedWmp::train"));
+        }
+        // TR3: learn templates.
+        let t0 = Instant::now();
+        templates.fit(records, catalog)?;
+        let template_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // TR4–TR5: histograms over the provided workloads.
+        let t1 = Instant::now();
+        if workloads.is_empty() {
+            return Err(MlError::InvalidHyperparameter(format!(
+                "batch_size {} exceeds training-set size {}",
+                config.batch_size,
+                records.len()
+            )));
+        }
+        let assignments: Vec<usize> =
+            records.iter().map(|r| templates.assign(r)).collect::<MlResult<_>>()?;
+        let k = templates.n_templates();
+        let rows: Vec<Vec<f64>> = workloads
+            .iter()
+            .map(|w| {
+                let member: Vec<usize> =
+                    w.query_indices.iter().map(|&i| assignments[i]).collect();
+                build_histogram(&member, k, config.histogram_mode)
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows)?;
+        let y: Vec<f64> = workloads.iter().map(|w| w.y).collect();
+        let histogram_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // TR6: train the distribution regressor.
+        let mut regressor = config.model.build(Approach::Learned, workloads.len());
+        let t2 = Instant::now();
+        regressor.fit(&x, &y)?;
+        let fit_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        Ok(LearnedWmp {
+            config,
+            templates,
+            regressor,
+            timings: TrainTimings { template_ms, histogram_ms, fit_ms },
+            n_train_workloads: workloads.len(),
+        })
+    }
+
+    /// Inference (IN1–IN5): predicts the memory demand of one workload.
+    ///
+    /// # Errors
+    /// Propagates assignment/prediction errors.
+    pub fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
+        let assignments: Vec<usize> =
+            queries.iter().map(|r| self.templates.assign(r)).collect::<MlResult<_>>()?;
+        let h = build_histogram(&assignments, self.templates.n_templates(), self.config.histogram_mode);
+        self.regressor.predict_row(&h)
+    }
+
+    /// Predicts every workload in a batched test set (indices into `records`).
+    ///
+    /// # Errors
+    /// Propagates per-workload errors.
+    pub fn predict_workloads(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<f64>> {
+        workloads
+            .iter()
+            .map(|w| {
+                let queries: Vec<&QueryRecord> =
+                    w.query_indices.iter().map(|&i| records[i]).collect();
+                self.predict_workload(&queries)
+            })
+            .collect()
+    }
+
+    /// The trained distribution regressor.
+    pub fn regressor(&self) -> &dyn Regressor {
+        self.regressor.as_ref()
+    }
+
+    /// The fitted template learner.
+    pub fn templates(&self) -> &dyn TemplateLearner {
+        self.templates.as_ref()
+    }
+
+    /// Model size in bytes (the regressor, as in the paper's Fig. 8).
+    pub fn footprint_bytes(&self) -> usize {
+        self.regressor.footprint_bytes()
+    }
+
+    /// The configuration used at training time.
+    pub fn config(&self) -> &LearnedWmpConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::PlanKMeansTemplates;
+
+    fn trained(model: ModelKind) -> (wmp_workloads::QueryLog, LearnedWmp) {
+        let log = wmp_workloads::tpcc::generate(600, 9).unwrap();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let wmp = LearnedWmp::train(
+            LearnedWmpConfig { model, ..LearnedWmpConfig::default() },
+            Box::new(PlanKMeansTemplates::new(10, 1)),
+            &refs,
+            &log.catalog,
+        )
+        .unwrap();
+        (log, wmp)
+    }
+
+    #[test]
+    fn trains_and_predicts_positive_memory() {
+        let (log, wmp) = trained(ModelKind::Xgb);
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let pred = wmp.predict_workload(&refs[..10]).unwrap();
+        assert!(pred.is_finite());
+        assert!(pred > 0.0, "memory predictions must be positive, got {pred}");
+        assert_eq!(wmp.n_train_workloads, 60);
+    }
+
+    #[test]
+    fn predictions_track_workload_composition() {
+        // A workload of 10 heavy queries must predict more than 10 light ones.
+        let (log, wmp) = trained(ModelKind::Xgb);
+        let mut sorted: Vec<&QueryRecord> = log.records.iter().collect();
+        sorted.sort_by(|a, b| a.true_memory_mb.partial_cmp(&b.true_memory_mb).unwrap());
+        let light = &sorted[..10];
+        let heavy = &sorted[sorted.len() - 10..];
+        let p_light = wmp.predict_workload(light).unwrap();
+        let p_heavy = wmp.predict_workload(heavy).unwrap();
+        assert!(p_heavy > p_light, "heavy {p_heavy} vs light {p_light}");
+    }
+
+    #[test]
+    fn reasonable_in_sample_accuracy() {
+        let (log, wmp) = trained(ModelKind::Xgb);
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let ws = batch_workloads(&refs, 10, 7, LabelMode::Sum);
+        let preds = wmp.predict_workloads(&refs, &ws).unwrap();
+        let y: Vec<f64> = ws.iter().map(|w| w.y).collect();
+        let mape = wmp_mlkit::metrics::mape(&y, &preds).unwrap();
+        assert!(mape < 60.0, "in-sample MAPE = {mape}%");
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let (_, wmp) = trained(ModelKind::Ridge);
+        assert!(wmp.timings.template_ms > 0.0);
+        assert!(wmp.timings.fit_ms > 0.0);
+        assert!(wmp.timings.total_ms() >= wmp.timings.fit_ms);
+        assert!(wmp.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn all_model_kinds_train() {
+        for kind in ModelKind::ALL {
+            let (_, wmp) = trained(kind);
+            assert_eq!(wmp.config().model, kind);
+        }
+    }
+
+    #[test]
+    fn errors_on_empty_or_oversized_batch() {
+        let log = wmp_workloads::tpcc::generate(20, 9).unwrap();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let empty: Vec<&QueryRecord> = Vec::new();
+        assert!(LearnedWmp::train(
+            LearnedWmpConfig::default(),
+            Box::new(PlanKMeansTemplates::new(4, 0)),
+            &empty,
+            &log.catalog,
+        )
+        .is_err());
+        assert!(LearnedWmp::train(
+            LearnedWmpConfig { batch_size: 100, ..LearnedWmpConfig::default() },
+            Box::new(PlanKMeansTemplates::new(4, 0)),
+            &refs,
+            &log.catalog,
+        )
+        .is_err());
+    }
+}

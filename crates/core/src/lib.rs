@@ -1,0 +1,43 @@
+//! # learnedwmp-core — the paper's contribution
+//!
+//! LearnedWMP predicts the working-memory demand of a *workload* (a batch of
+//! SQL queries) from the distribution of its queries over learned query
+//! templates, instead of summing per-query estimates. This crate implements
+//! the full paper pipeline:
+//!
+//! - [`template`] — TR3: template learning (plan-feature k-means, plus the
+//!   rule-based / bag-of-words / text-mining / embedding / DBSCAN
+//!   alternatives of Figs. 9 and §V);
+//! - [`workload`] — TR4: fixed-size workload batching and labels;
+//! - [`histogram`] — TR5: workload histograms (Algorithm 2);
+//! - [`model`] — the five learner families (DNN/Ridge/DT/RF/XGB);
+//! - [`learned`] — TR6 + IN1–IN5: the LearnedWMP model;
+//! - [`single`] — the SingleWMP baselines (ML per-query sums and the DBMS
+//!   heuristic);
+//! - [`eval`] — the measurement harness behind Figs. 4–8;
+//! - [`config`] — paper-scale experiment configuration.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod eval;
+pub mod histogram;
+pub mod learned;
+pub mod model;
+pub mod online;
+pub mod single;
+pub mod template;
+pub mod workload;
+
+pub use config::{DatasetConfig, ExperimentConfig};
+pub use eval::{EvalConfig, EvalContext, ModelReport};
+pub use histogram::{build_histogram, HistogramMode};
+pub use learned::{LearnedWmp, LearnedWmpConfig, TrainTimings};
+pub use model::{Approach, ModelKind};
+pub use online::{OnlinePolicy, OnlineWmp};
+pub use single::{SingleWmp, SingleWmpDbms};
+pub use template::{
+    DbscanTemplates, PlanKMeansTemplates, RuleBasedTemplates, TemplateLearner, TextMode,
+    TextTemplates,
+};
+pub use workload::{batch_workloads, batch_workloads_variable, LabelMode, Workload};

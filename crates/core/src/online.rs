@@ -1,0 +1,222 @@
+//! Online deployment loop — the paper's §I "DBMS Integration" story: ship a
+//! pre-trained model, keep collecting executed queries from the operational
+//! environment, and periodically retrain so accuracy improves (and tracks
+//! workload drift) over time.
+
+use wmp_mlkit::{MlError, MlResult};
+use wmp_plan::Catalog;
+use wmp_workloads::QueryRecord;
+
+use crate::learned::{LearnedWmp, LearnedWmpConfig};
+use crate::template::{PlanKMeansTemplates, TemplateLearner};
+
+/// Retraining policy for [`OnlineWmp`].
+#[derive(Debug, Clone)]
+pub struct OnlinePolicy {
+    /// Retrain once this many new queries have been observed since the last
+    /// (re)training.
+    pub retrain_every: usize,
+    /// Keep at most this many recent queries (sliding window; older history
+    /// ages out so the model tracks drift).
+    pub window: usize,
+    /// Number of templates for each retraining.
+    pub k_templates: usize,
+}
+
+impl Default for OnlinePolicy {
+    fn default() -> Self {
+        OnlinePolicy { retrain_every: 1_000, window: 20_000, k_templates: 30 }
+    }
+}
+
+/// A LearnedWMP model that retrains itself from an operational query log.
+pub struct OnlineWmp {
+    config: LearnedWmpConfig,
+    policy: OnlinePolicy,
+    buffer: Vec<QueryRecord>,
+    since_train: usize,
+    model: Option<LearnedWmp>,
+    retrain_count: usize,
+}
+
+impl OnlineWmp {
+    /// Creates an untrained online model; it starts predicting after the
+    /// first `retrain_every` observations (or an explicit [`OnlineWmp::retrain`]).
+    pub fn new(config: LearnedWmpConfig, policy: OnlinePolicy) -> Self {
+        OnlineWmp { config, policy, buffer: Vec::new(), since_train: 0, model: None, retrain_count: 0 }
+    }
+
+    /// Ingests one executed query (the DBMS query-log hook). Returns `true`
+    /// when the observation triggered a retrain.
+    ///
+    /// # Errors
+    /// Propagates retraining errors.
+    pub fn observe(&mut self, record: QueryRecord, catalog: &Catalog) -> MlResult<bool> {
+        self.buffer.push(record);
+        if self.buffer.len() > self.policy.window {
+            let drop = self.buffer.len() - self.policy.window;
+            self.buffer.drain(..drop);
+        }
+        self.since_train += 1;
+        if self.since_train >= self.policy.retrain_every
+            && self.buffer.len() >= self.config.batch_size
+        {
+            self.retrain(catalog)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Forces a retraining pass over the current window.
+    ///
+    /// # Errors
+    /// Propagates training errors (e.g. not enough history for one batch).
+    pub fn retrain(&mut self, catalog: &Catalog) -> MlResult<()> {
+        let refs: Vec<&QueryRecord> = self.buffer.iter().collect();
+        let templates: Box<dyn TemplateLearner> = Box::new(PlanKMeansTemplates::new(
+            self.policy.k_templates,
+            self.config.seed ^ self.retrain_count as u64,
+        ));
+        self.model = Some(LearnedWmp::train(self.config.clone(), templates, &refs, catalog)?);
+        self.since_train = 0;
+        self.retrain_count += 1;
+        Ok(())
+    }
+
+    /// Predicts an unseen workload's memory demand.
+    ///
+    /// # Errors
+    /// Returns [`MlError::NotFitted`] before the first (re)training.
+    pub fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
+        self.model
+            .as_ref()
+            .ok_or(MlError::NotFitted("OnlineWmp (no retraining has happened yet)"))?
+            .predict_workload(queries)
+    }
+
+    /// Number of retraining passes so far.
+    pub fn retrain_count(&self) -> usize {
+        self.retrain_count
+    }
+
+    /// Queries currently in the sliding window.
+    pub fn window_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The current underlying model, if trained.
+    pub fn model(&self) -> Option<&LearnedWmp> {
+        self.model.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use wmp_mlkit::metrics::mape;
+
+    fn policy(retrain_every: usize, window: usize) -> OnlinePolicy {
+        OnlinePolicy { retrain_every, window, k_templates: 10 }
+    }
+
+    fn config() -> LearnedWmpConfig {
+        LearnedWmpConfig { model: ModelKind::Xgb, ..Default::default() }
+    }
+
+    #[test]
+    fn predicts_only_after_first_retrain() {
+        let log = wmp_workloads::tpcc::generate(300, 1).unwrap();
+        let mut online = OnlineWmp::new(config(), policy(100, 1000));
+        let probe: Vec<&QueryRecord> = log.records[..10].iter().collect();
+        assert!(matches!(online.predict_workload(&probe), Err(MlError::NotFitted(_))));
+        let mut retrains = 0;
+        for r in &log.records {
+            if online.observe(r.clone(), &log.catalog).unwrap() {
+                retrains += 1;
+            }
+        }
+        assert_eq!(retrains, 3, "300 observations at retrain_every=100");
+        assert_eq!(online.retrain_count(), 3);
+        assert!(online.predict_workload(&probe).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sliding_window_caps_history() {
+        let log = wmp_workloads::tpcc::generate(500, 2).unwrap();
+        let mut online = OnlineWmp::new(config(), policy(200, 150));
+        for r in &log.records {
+            online.observe(r.clone(), &log.catalog).unwrap();
+        }
+        assert_eq!(online.window_len(), 150);
+    }
+
+    #[test]
+    fn retraining_tracks_workload_drift() {
+        // Phase 1: the model trains on OLTP-style statements only (templates
+        // 0..6). Phase 2: the mix shifts to the heavier statements (6..12);
+        // after enough observations the retrained model must beat the stale
+        // phase-1 model on the new regime.
+        let cat = wmp_workloads::tpcc::catalog();
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let make = |templates: std::ops::Range<usize>, base: u64, n: usize| {
+            let mut specs = Vec::new();
+            for i in 0..n {
+                let mut rng = StdRng::seed_from_u64(base ^ i as u64);
+                let t = templates.start + i % (templates.end - templates.start);
+                specs.push((wmp_workloads::tpcc::instantiate(&cat, t, base + i as u64, &mut rng), t));
+            }
+            wmp_workloads::build_log("tpcc-drift", cat.clone(), specs).unwrap()
+        };
+        let phase1 = make(0..6, 1000, 400);
+        let phase2 = make(6..12, 9000, 400);
+
+        let mut online = OnlineWmp::new(config(), policy(400, 600));
+        for r in &phase1.records {
+            online.observe(r.clone(), &phase1.catalog).unwrap();
+        }
+        assert_eq!(online.retrain_count(), 1);
+        // Evaluate the stale model on phase-2 workloads.
+        let eval = |m: &OnlineWmp, log: &wmp_workloads::QueryLog| {
+            let refs: Vec<&QueryRecord> = log.records.iter().collect();
+            let ws = crate::workload::batch_workloads(
+                &refs,
+                10,
+                7,
+                crate::workload::LabelMode::Sum,
+            );
+            let y: Vec<f64> = ws.iter().map(|w| w.y).collect();
+            let preds: Vec<f64> = ws
+                .iter()
+                .map(|w| {
+                    let qs: Vec<&QueryRecord> =
+                        w.query_indices.iter().map(|&i| refs[i]).collect();
+                    m.predict_workload(&qs).unwrap()
+                })
+                .collect();
+            mape(&y, &preds).unwrap()
+        };
+        let stale = eval(&online, &phase2);
+        for r in &phase2.records {
+            online.observe(r.clone(), &phase2.catalog).unwrap();
+        }
+        assert!(online.retrain_count() >= 2);
+        let fresh = eval(&online, &phase2);
+        assert!(
+            fresh < stale,
+            "retrained MAPE ({fresh:.1}%) must beat the stale model ({stale:.1}%)"
+        );
+    }
+
+    #[test]
+    fn forced_retrain_requires_enough_history() {
+        let log = wmp_workloads::tpcc::generate(5, 3).unwrap();
+        let mut online = OnlineWmp::new(config(), policy(1000, 1000));
+        for r in &log.records {
+            online.observe(r.clone(), &log.catalog).unwrap();
+        }
+        // 5 records < batch_size 10: retraining cannot form a workload.
+        assert!(online.retrain(&log.catalog).is_err());
+    }
+}

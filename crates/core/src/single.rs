@@ -1,0 +1,178 @@
+//! The SingleWMP baselines (paper §IV): per-query memory prediction summed
+//! over the workload — both the ML variants (eq. 11) and the DBMS heuristic.
+
+use std::time::Instant;
+
+use wmp_mlkit::{Matrix, MlError, MlResult, Regressor};
+use wmp_workloads::QueryRecord;
+
+use crate::model::{Approach, ModelKind};
+use crate::workload::Workload;
+
+/// A trained single-query model: plan features → per-query peak memory.
+pub struct SingleWmp {
+    model: ModelKind,
+    regressor: Box<dyn Regressor>,
+    /// Regressor fit time in milliseconds.
+    pub fit_ms: f64,
+    /// Number of training queries.
+    pub n_train_queries: usize,
+}
+
+impl SingleWmp {
+    /// Trains on individual queries (plan features, per-query labels).
+    ///
+    /// # Errors
+    /// Propagates regression errors; fails on an empty training set.
+    pub fn train(model: ModelKind, records: &[&QueryRecord]) -> MlResult<Self> {
+        if records.is_empty() {
+            return Err(MlError::EmptyInput("SingleWmp::train"));
+        }
+        let rows: Vec<Vec<f64>> = records.iter().map(|r| r.features.clone()).collect();
+        let x = Matrix::from_rows(&rows)?;
+        let y: Vec<f64> = records.iter().map(|r| r.true_memory_mb).collect();
+        let mut regressor = model.build(Approach::Single, records.len());
+        let t0 = Instant::now();
+        regressor.fit(&x, &y)?;
+        let fit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Ok(SingleWmp { model, regressor, fit_ms, n_train_queries: records.len() })
+    }
+
+    /// Per-query memory prediction.
+    ///
+    /// # Errors
+    /// Propagates prediction errors.
+    pub fn predict_query(&self, record: &QueryRecord) -> MlResult<f64> {
+        self.regressor.predict_row(&record.features)
+    }
+
+    /// Workload prediction = Σ per-query predictions (paper eq. 11).
+    ///
+    /// # Errors
+    /// Propagates prediction errors.
+    pub fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
+        let mut total = 0.0;
+        for q in queries {
+            total += self.predict_query(q)?;
+        }
+        Ok(total)
+    }
+
+    /// Predicts every workload in a batched test set.
+    ///
+    /// # Errors
+    /// Propagates per-workload errors.
+    pub fn predict_workloads(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<f64>> {
+        workloads
+            .iter()
+            .map(|w| {
+                let queries: Vec<&QueryRecord> =
+                    w.query_indices.iter().map(|&i| records[i]).collect();
+                self.predict_workload(&queries)
+            })
+            .collect()
+    }
+
+    /// The learner family.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// Model size in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.regressor.footprint_bytes()
+    }
+}
+
+/// The state-of-practice baseline: the DBMS optimizer's heuristic estimate,
+/// summed over the workload. No ML, no training.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleWmpDbms;
+
+impl SingleWmpDbms {
+    /// Workload estimate = Σ per-query optimizer estimates.
+    pub fn predict_workload(&self, queries: &[&QueryRecord]) -> f64 {
+        queries.iter().map(|q| q.dbms_estimate_mb).sum()
+    }
+
+    /// Predicts every workload in a batched test set.
+    pub fn predict_workloads(&self, records: &[&QueryRecord], workloads: &[Workload]) -> Vec<f64> {
+        workloads
+            .iter()
+            .map(|w| {
+                let queries: Vec<&QueryRecord> =
+                    w.query_indices.iter().map(|&i| records[i]).collect();
+                self.predict_workload(&queries)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{batch_workloads, LabelMode};
+
+    fn log() -> wmp_workloads::QueryLog {
+        wmp_workloads::tpcc::generate(500, 3).unwrap()
+    }
+
+    #[test]
+    fn trains_and_sums_per_query_predictions() {
+        let log = log();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let m = SingleWmp::train(ModelKind::Xgb, &refs).unwrap();
+        assert_eq!(m.n_train_queries, 500);
+        assert!(m.fit_ms > 0.0);
+        let w: f64 = m.predict_workload(&refs[..10]).unwrap();
+        let parts: f64 =
+            refs[..10].iter().map(|r| m.predict_query(r).unwrap()).sum();
+        assert!((w - parts).abs() < 1e-9, "workload prediction is the sum of queries");
+    }
+
+    #[test]
+    fn single_query_accuracy_is_reasonable() {
+        let log = log();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let m = SingleWmp::train(ModelKind::Rf, &refs).unwrap();
+        let preds: Vec<f64> =
+            refs.iter().map(|r| m.predict_query(r).unwrap()).collect();
+        let y: Vec<f64> = refs.iter().map(|r| r.true_memory_mb).collect();
+        let r2 = wmp_mlkit::metrics::r2(&y, &preds).unwrap();
+        assert!(r2 > 0.7, "in-sample r2 = {r2}");
+    }
+
+    #[test]
+    fn dbms_baseline_sums_estimates() {
+        let log = log();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let dbms = SingleWmpDbms;
+        let expected: f64 = refs[..10].iter().map(|r| r.dbms_estimate_mb).sum();
+        assert!((dbms.predict_workload(&refs[..10]) - expected).abs() < 1e-9);
+        let ws = batch_workloads(&refs, 10, 0, LabelMode::Sum);
+        let preds = dbms.predict_workloads(&refs, &ws);
+        assert_eq!(preds.len(), ws.len());
+        assert!(preds.iter().all(|p| *p > 0.0));
+    }
+
+    #[test]
+    fn all_model_kinds_train_on_queries() {
+        let log = log();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        for kind in ModelKind::ALL {
+            let m = SingleWmp::train(kind, &refs[..200]).unwrap();
+            assert_eq!(m.model(), kind);
+            assert!(m.footprint_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let empty: Vec<&QueryRecord> = Vec::new();
+        assert!(SingleWmp::train(ModelKind::Ridge, &empty).is_err());
+    }
+}

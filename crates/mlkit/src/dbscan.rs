@@ -1,0 +1,152 @@
+//! DBSCAN density clustering. The paper's related-work section (§V) reports
+//! comparing DBSCAN-learned templates against k-means templates (k-means won);
+//! this module provides that comparison point and the `ablation_clustering`
+//! bench.
+
+use crate::error::{MlError, MlResult};
+use crate::linalg::{sq_dist, Matrix};
+
+/// Label assigned to points that belong to no cluster.
+pub const NOISE: isize = -1;
+
+/// Hyper-parameters for [`dbscan`].
+#[derive(Debug, Clone)]
+pub struct DbscanConfig {
+    /// Neighborhood radius.
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        DbscanConfig { eps: 0.5, min_pts: 5 }
+    }
+}
+
+/// Runs DBSCAN over the rows of `x`; returns one label per row, with
+/// [`NOISE`] (`-1`) for noise points and `0..n_clusters` otherwise.
+///
+/// # Errors
+/// - [`MlError::EmptyInput`] for an empty matrix.
+/// - [`MlError::InvalidHyperparameter`] for non-positive `eps` or `min_pts == 0`.
+pub fn dbscan(x: &Matrix, config: &DbscanConfig) -> MlResult<Vec<isize>> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(MlError::EmptyInput("dbscan"));
+    }
+    if config.eps <= 0.0 || config.eps.is_nan() {
+        return Err(MlError::InvalidHyperparameter(format!("eps = {} must be > 0", config.eps)));
+    }
+    if config.min_pts == 0 {
+        return Err(MlError::InvalidHyperparameter("min_pts must be >= 1".into()));
+    }
+    let n = x.rows();
+    let eps2 = config.eps * config.eps;
+    let neighbors = |i: usize| -> Vec<usize> {
+        let ri = x.row(i);
+        (0..n).filter(|&j| sq_dist(ri, x.row(j)) <= eps2).collect()
+    };
+
+    const UNVISITED: isize = -2;
+    let mut labels = vec![UNVISITED; n];
+    let mut cluster: isize = 0;
+    for i in 0..n {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbors(i);
+        if nbrs.len() < config.min_pts {
+            labels[i] = NOISE;
+            continue;
+        }
+        labels[i] = cluster;
+        // Expand the cluster with a work queue (classic DBSCAN expansion).
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border point reachable from a core point
+            }
+            if labels[j] != UNVISITED {
+                continue;
+            }
+            labels[j] = cluster;
+            let jn = neighbors(j);
+            if jn.len() >= config.min_pts {
+                queue.extend(jn);
+            }
+        }
+        cluster += 1;
+    }
+    Ok(labels)
+}
+
+/// Number of clusters in a DBSCAN labeling (ignoring noise).
+pub fn n_clusters(labels: &[isize]) -> usize {
+    labels.iter().filter(|&&l| l >= 0).map(|&l| l as usize + 1).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs_with_outlier() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..10 {
+            rows.push(vec![5.0 + 0.01 * i as f64, 5.0]);
+        }
+        rows.push(vec![100.0, 100.0]); // isolated outlier
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn separates_blobs_and_flags_noise() {
+        let x = two_blobs_with_outlier();
+        let labels = dbscan(&x, &DbscanConfig { eps: 0.5, min_pts: 3 }).unwrap();
+        assert_eq!(n_clusters(&labels), 2);
+        assert_eq!(labels[20], NOISE);
+        assert!(labels[..10].iter().all(|&l| l == labels[0]));
+        assert!(labels[10..20].iter().all(|&l| l == labels[10]));
+        assert_ne!(labels[0], labels[10]);
+    }
+
+    #[test]
+    fn everything_is_noise_with_tiny_eps() {
+        let x = two_blobs_with_outlier();
+        let labels = dbscan(&x, &DbscanConfig { eps: 1e-6, min_pts: 3 }).unwrap();
+        assert!(labels.iter().all(|&l| l == NOISE));
+        assert_eq!(n_clusters(&labels), 0);
+    }
+
+    #[test]
+    fn one_big_cluster_with_huge_eps() {
+        let x = two_blobs_with_outlier();
+        let labels = dbscan(&x, &DbscanConfig { eps: 1000.0, min_pts: 3 }).unwrap();
+        assert_eq!(n_clusters(&labels), 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A chain: dense core 0..5 plus one border point within eps of the core
+        // but with too few neighbors to be core itself.
+        let mut rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 0.1]).collect();
+        rows.push(vec![0.9]); // within 0.5 of point at 0.4 only
+        let x = Matrix::from_rows(&rows).unwrap();
+        let labels = dbscan(&x, &DbscanConfig { eps: 0.5, min_pts: 4 }).unwrap();
+        assert_eq!(labels[5], labels[0], "border point adopts the core's cluster");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(dbscan(&Matrix::zeros(0, 1), &DbscanConfig::default()).is_err());
+        assert!(dbscan(&x, &DbscanConfig { eps: 0.0, min_pts: 2 }).is_err());
+        assert!(dbscan(&x, &DbscanConfig { eps: 1.0, min_pts: 0 }).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Random Forest regressor — bootstrap-aggregated trees with per-node feature
+//! subsampling (the paper's "RF" learner, §III-B4). Trees are grown in
+//! parallel with scoped threads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::binned::BinnedMatrix;
+use crate::error::{dim_mismatch, MlError, MlResult};
+use crate::grow::{grow_tree, GrowParams, Tree};
+use crate::linalg::Matrix;
+use crate::traits::{Footprint, Regressor};
+
+/// Hyper-parameters for [`RandomForest`].
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features sampled per node; `None` considers every feature (the
+    /// scikit-learn regression default — bagging alone provides the
+    /// de-correlation). Sparse histogram inputs degrade badly under
+    /// aggressive feature subsampling, so only set this deliberately.
+    pub max_features: Option<usize>,
+    /// Number of quantile bins for split finding.
+    pub max_bins: usize,
+    /// RNG seed (bootstrap + feature sampling).
+    pub seed: u64,
+    /// Number of worker threads (1 = sequential).
+    pub n_threads: usize,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 50,
+            max_depth: 10,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+            max_bins: 64,
+            seed: 42,
+            n_threads: 4,
+        }
+    }
+}
+
+/// Bagged ensemble of regression trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<Tree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    pub fn new(config: RandomForestConfig) -> Self {
+        RandomForest { config, trees: Vec::new(), n_features: 0 }
+    }
+
+    /// Unfitted forest with default hyper-parameters.
+    pub fn default_config() -> Self {
+        RandomForest::new(RandomForestConfig::default())
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total node count across the ensemble.
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(Tree::n_nodes).sum()
+    }
+}
+
+impl Footprint for RandomForest {
+    fn num_parameters(&self) -> usize {
+        self.total_nodes()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.total_nodes() * 24 + 64
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> MlResult<()> {
+        let n = x.rows();
+        if n == 0 || x.cols() == 0 {
+            return Err(MlError::EmptyInput("RandomForest::fit"));
+        }
+        if y.len() != n {
+            return Err(dim_mismatch(format!("y.len() == {n}"), format!("y.len() == {}", y.len())));
+        }
+        if self.config.n_trees == 0 {
+            return Err(MlError::InvalidHyperparameter("n_trees must be >= 1".into()));
+        }
+        let binned = BinnedMatrix::from_matrix(x, self.config.max_bins)?;
+        let feature_subsample = self.config.max_features.map(|m| m.clamp(1, x.cols()));
+        let params = GrowParams {
+            max_depth: self.config.max_depth,
+            min_samples_split: self.config.min_samples_split,
+            min_samples_leaf: self.config.min_samples_leaf,
+            lambda: 0.0,
+            gamma: 1e-12,
+            feature_subsample,
+        };
+
+        let n_trees = self.config.n_trees;
+        let n_threads = self.config.n_threads.max(1).min(n_trees);
+        let seed = self.config.seed;
+        let mut trees: Vec<Option<Tree>> = vec![None; n_trees];
+        // Grow trees in parallel: chunk the output slice across scoped threads;
+        // each tree has an independent seed so results do not depend on the
+        // thread count.
+        std::thread::scope(|scope| {
+            let chunk = n_trees.div_ceil(n_threads);
+            let binned = &binned;
+            let params = &params;
+            for (ti, slot_chunk) in trees.chunks_mut(chunk).enumerate() {
+                let first_tree = ti * chunk;
+                scope.spawn(move || {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        let tree_idx = first_tree + off;
+                        let tree_seed = seed.wrapping_add(tree_idx as u64).wrapping_mul(0x9E37_79B9);
+                        let mut rng = StdRng::seed_from_u64(tree_seed);
+                        // Bootstrap sample (with replacement).
+                        let mut rows: Vec<u32> =
+                            (0..n).map(|_| rng.gen_range(0..n) as u32).collect();
+                        *slot = Some(grow_tree(binned, y, &mut rows, params, tree_seed ^ 0xABCD));
+                    }
+                });
+            }
+        });
+        self.trees = trees.into_iter().map(|t| t.expect("every tree slot filled")).collect();
+        self.n_features = x.cols();
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> MlResult<f64> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted("RandomForest"));
+        }
+        if row.len() != self.n_features {
+            return Err(dim_mismatch(
+                format!("row.len() == {}", self.n_features),
+                format!("row.len() == {}", row.len()),
+            ));
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "rf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{r2, rmse};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn friedman_like(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 10.0 * r[0] * r[1] + 5.0 * r[2] - 3.0 * r[3] + rng.gen::<f64>() * 0.1)
+            .collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn fits_nonlinear_target_with_good_r2() {
+        let (x, y) = friedman_like(500, 5);
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 30, ..Default::default() });
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        assert!(r2(&y, &pred).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let (x_tr, y_tr) = friedman_like(800, 5);
+        let (x_te, y_te) = friedman_like(200, 99);
+        let mut rf = RandomForest::default_config();
+        rf.fit(&x_tr, &y_tr).unwrap();
+        let pred = rf.predict(&x_te).unwrap();
+        assert!(r2(&y_te, &pred).unwrap() > 0.8);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_regardless_of_threads() {
+        let (x, y) = friedman_like(200, 1);
+        let mut a = RandomForest::new(RandomForestConfig {
+            n_trees: 8,
+            n_threads: 1,
+            ..Default::default()
+        });
+        let mut b = RandomForest::new(RandomForestConfig {
+            n_trees: 8,
+            n_threads: 4,
+            ..Default::default()
+        });
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        let pa = a.predict(&x).unwrap();
+        let pb = b.predict(&x).unwrap();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn more_trees_do_not_hurt_much() {
+        let (x, y) = friedman_like(300, 2);
+        let (x_te, y_te) = friedman_like(150, 3);
+        let mut small = RandomForest::new(RandomForestConfig { n_trees: 2, ..Default::default() });
+        let mut big = RandomForest::new(RandomForestConfig { n_trees: 40, ..Default::default() });
+        small.fit(&x, &y).unwrap();
+        big.fit(&x, &y).unwrap();
+        let e_small = rmse(&y_te, &small.predict(&x_te).unwrap()).unwrap();
+        let e_big = rmse(&y_te, &big.predict(&x_te).unwrap()).unwrap();
+        assert!(e_big <= e_small * 1.1, "bagging should not degrade error");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (x, y) = friedman_like(10, 0);
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 0, ..Default::default() });
+        assert!(rf.fit(&x, &y).is_err());
+        let mut rf = RandomForest::default_config();
+        assert!(rf.fit(&Matrix::zeros(0, 2), &[]).is_err());
+        assert!(rf.fit(&x, &y[..5]).is_err());
+        assert!(matches!(
+            RandomForest::default_config().predict_row(&[0.0]),
+            Err(MlError::NotFitted(_))
+        ));
+        rf.fit(&x, &y).unwrap();
+        assert!(rf.predict_row(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn footprint_scales_with_ensemble() {
+        let (x, y) = friedman_like(100, 4);
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 4, ..Default::default() });
+        rf.fit(&x, &y).unwrap();
+        assert_eq!(rf.n_trees(), 4);
+        assert!(rf.footprint_bytes() > 4 * 24);
+        assert_eq!(rf.num_parameters(), rf.total_nodes());
+    }
+}

@@ -1,0 +1,404 @@
+//! Shared histogram-based regression-tree grower.
+//!
+//! One grower serves all three tree learners: CART uses `lambda == 0` (leaf =
+//! mean, gain = SSE reduction up to a constant factor), the GBDT passes the
+//! XGBoost-style regularized gain (`lambda`, `gamma`), and the Random Forest
+//! adds per-node feature subsampling. With squared loss the Hessian of every
+//! example is 1, so node statistics reduce to `(count, target sum)`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::binned::BinnedMatrix;
+
+/// A node of a grown tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Internal split: go left iff `value[feature] <= threshold`.
+    Split {
+        /// Feature index the split tests.
+        feature: u32,
+        /// Raw-value threshold ("left iff <=").
+        threshold: f64,
+        /// Arena index of the left child.
+        left: u32,
+        /// Arena index of the right child.
+        right: u32,
+    },
+    /// Terminal node carrying the prediction contribution.
+    Leaf {
+        /// Predicted value (mean for CART, regularized weight for GBDT).
+        value: f64,
+    },
+}
+
+/// A grown regression tree (flat arena, root at index 0).
+#[derive(Debug, Clone, Default)]
+pub struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Walks the tree for one raw (un-binned) feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Total node count (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, TreeNode::Leaf { .. })).count()
+    }
+
+    /// Maximum depth (root = depth 0); useful in tests.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[TreeNode], idx: usize) -> usize {
+            match &nodes[idx] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split { left, right, .. } => {
+                    1 + rec(nodes, *left as usize).max(rec(nodes, *right as usize))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+}
+
+/// Growth hyper-parameters shared by the tree learners.
+#[derive(Debug, Clone)]
+pub struct GrowParams {
+    /// Maximum tree depth (root at depth 0).
+    pub max_depth: usize,
+    /// Minimum examples required to consider splitting a node.
+    pub min_samples_split: usize,
+    /// Minimum examples each child must keep.
+    pub min_samples_leaf: usize,
+    /// L2 regularization on leaf values (XGBoost `lambda`; 0 for CART).
+    pub lambda: f64,
+    /// Minimum gain required to accept a split (XGBoost `gamma`).
+    pub gamma: f64,
+    /// If set, the number of features sampled per node (Random Forest `mtry`).
+    pub feature_subsample: Option<usize>,
+}
+
+impl Default for GrowParams {
+    fn default() -> Self {
+        GrowParams {
+            max_depth: 6,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            lambda: 0.0,
+            gamma: 1e-12,
+            feature_subsample: None,
+        }
+    }
+}
+
+struct Grower<'a> {
+    binned: &'a BinnedMatrix,
+    targets: &'a [f64],
+    params: &'a GrowParams,
+    nodes: Vec<TreeNode>,
+    features: Vec<usize>,
+    rng: StdRng,
+}
+
+/// Score of a node under the regularized objective: `s² / (n + λ)`.
+#[inline]
+fn node_score(sum: f64, count: f64, lambda: f64) -> f64 {
+    sum * sum / (count + lambda)
+}
+
+impl<'a> Grower<'a> {
+    fn leaf(&mut self, count: f64, sum: f64) -> u32 {
+        let value = if count + self.params.lambda > 0.0 {
+            sum / (count + self.params.lambda)
+        } else {
+            0.0
+        };
+        self.nodes.push(TreeNode::Leaf { value });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn grow(&mut self, rows: &mut [u32], depth: usize) -> u32 {
+        let n = rows.len();
+        let sum: f64 = rows.iter().map(|&r| self.targets[r as usize]).sum();
+        if depth >= self.params.max_depth || n < self.params.min_samples_split || n < 2 {
+            return self.leaf(n as f64, sum);
+        }
+
+        // Feature subset for this node (Random Forest style) or all features.
+        let feats: Vec<usize> = match self.params.feature_subsample {
+            Some(m) if m < self.features.len() => {
+                let mut fs = self.features.clone();
+                fs.partial_shuffle(&mut self.rng, m);
+                fs.truncate(m);
+                fs
+            }
+            _ => self.features.clone(),
+        };
+
+        // Histogram accumulation: (count, target sum) per bin per feature.
+        let offsets: Vec<usize> = {
+            let mut off = Vec::with_capacity(feats.len());
+            let mut acc = 0usize;
+            for &f in &feats {
+                off.push(acc);
+                acc += self.binned.n_bins(f);
+            }
+            off.push(acc);
+            off
+        };
+        let total_bins = *offsets.last().expect("offsets non-empty");
+        let mut hist_cnt = vec![0u32; total_bins];
+        let mut hist_sum = vec![0.0f64; total_bins];
+        for &r in rows.iter() {
+            let codes = self.binned.row_codes(r as usize);
+            let t = self.targets[r as usize];
+            for (fi, &f) in feats.iter().enumerate() {
+                let slot = offsets[fi] + codes[f] as usize;
+                hist_cnt[slot] += 1;
+                hist_sum[slot] += t;
+            }
+        }
+
+        // Best split search: prefix scan per feature over bin boundaries.
+        let lambda = self.params.lambda;
+        let parent_score = node_score(sum, n as f64, lambda);
+        let min_leaf = self.params.min_samples_leaf as u32;
+        let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
+        for (fi, &f) in feats.iter().enumerate() {
+            let nbins = self.binned.n_bins(f);
+            if nbins < 2 {
+                continue;
+            }
+            let base = offsets[fi];
+            let mut left_cnt = 0u32;
+            let mut left_sum = 0.0f64;
+            for b in 0..nbins - 1 {
+                left_cnt += hist_cnt[base + b];
+                left_sum += hist_sum[base + b];
+                let right_cnt = n as u32 - left_cnt;
+                if left_cnt < min_leaf || right_cnt < min_leaf {
+                    continue;
+                }
+                let right_sum = sum - left_sum;
+                let gain = 0.5
+                    * (node_score(left_sum, left_cnt as f64, lambda)
+                        + node_score(right_sum, right_cnt as f64, lambda)
+                        - parent_score);
+                if gain > self.params.gamma && best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, f, b));
+                }
+            }
+        }
+
+        let Some((_, feature, bin)) = best else {
+            return self.leaf(n as f64, sum);
+        };
+
+        // Partition rows in place: codes <= bin go left.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            if self.binned.row_codes(rows[lo] as usize)[feature] as usize <= bin {
+                lo += 1;
+            } else {
+                hi -= 1;
+                rows.swap(lo, hi);
+            }
+        }
+        debug_assert!(lo > 0 && lo < n, "split must separate rows");
+
+        let threshold = self.binned.threshold(feature, bin);
+        // Reserve the split slot before recursing so the root lands at index 0.
+        self.nodes.push(TreeNode::Leaf { value: 0.0 });
+        let me = (self.nodes.len() - 1) as u32;
+        let (left_rows, right_rows) = rows.split_at_mut(lo);
+        let left = self.grow(left_rows, depth + 1);
+        let right = self.grow(right_rows, depth + 1);
+        self.nodes[me as usize] =
+            TreeNode::Split { feature: feature as u32, threshold, left, right };
+        me
+    }
+}
+
+/// Grows one tree over `rows` (indices into `binned`/`targets`).
+///
+/// `seed` controls feature subsampling only; growth is otherwise
+/// deterministic.
+pub fn grow_tree(
+    binned: &BinnedMatrix,
+    targets: &[f64],
+    rows: &mut [u32],
+    params: &GrowParams,
+    seed: u64,
+) -> Tree {
+    use rand::SeedableRng;
+    let mut grower = Grower {
+        binned,
+        targets,
+        params,
+        nodes: Vec::new(),
+        features: (0..binned.cols()).collect(),
+        rng: StdRng::seed_from_u64(seed),
+    };
+    if rows.is_empty() {
+        grower.nodes.push(TreeNode::Leaf { value: 0.0 });
+    } else {
+        grower.grow(rows, 0);
+    }
+    Tree { nodes: grower.nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        // y = 10 for x < 5, else 20 — one split suffices.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 5 { 10.0 } else { 20.0 }).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_a_step_function_with_one_split() {
+        let (x, y) = step_data();
+        let binned = BinnedMatrix::from_matrix(&x, 32).unwrap();
+        let mut rows: Vec<u32> = (0..20).collect();
+        let tree = grow_tree(&binned, &y, &mut rows, &GrowParams::default(), 0);
+        assert!((tree.predict_row(&[2.0]) - 10.0).abs() < 1e-9);
+        assert!((tree.predict_row(&[10.0]) - 20.0).abs() < 1e-9);
+        assert_eq!(tree.n_leaves(), 2, "pure children should not split further");
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let (x, _) = step_data();
+        let y = vec![5.0; 20];
+        let binned = BinnedMatrix::from_matrix(&x, 32).unwrap();
+        let mut rows: Vec<u32> = (0..20).collect();
+        let tree = grow_tree(&binned, &y, &mut rows, &GrowParams::default(), 0);
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.predict_row(&[0.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows_data: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let x = Matrix::from_rows(&rows_data).unwrap();
+        let binned = BinnedMatrix::from_matrix(&x, 64).unwrap();
+        let mut rows: Vec<u32> = (0..64).collect();
+        let params = GrowParams { max_depth: 2, ..GrowParams::default() };
+        let tree = grow_tree(&binned, &y, &mut rows, &params, 0);
+        assert!(tree.depth() <= 2);
+        assert!(tree.n_leaves() <= 4);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let (x, y) = step_data();
+        let binned = BinnedMatrix::from_matrix(&x, 32).unwrap();
+        let mut rows: Vec<u32> = (0..20).collect();
+        // min leaf of 8 forbids the natural 5/15 split.
+        let params = GrowParams { min_samples_leaf: 8, ..GrowParams::default() };
+        let tree = grow_tree(&binned, &y, &mut rows, &params, 0);
+        fn check(nodes_depth: &Tree, x: &Matrix, rows: &[u32]) {
+            // Every leaf region must contain >= 8 training rows.
+            let mut counts = std::collections::HashMap::new();
+            for &r in rows {
+                let mut idx = 0usize;
+                loop {
+                    match &nodes_depth.nodes[idx] {
+                        TreeNode::Leaf { .. } => break,
+                        TreeNode::Split { feature, threshold, left, right } => {
+                            idx = if x.get(r as usize, *feature as usize) <= *threshold {
+                                *left as usize
+                            } else {
+                                *right as usize
+                            };
+                        }
+                    }
+                }
+                *counts.entry(idx).or_insert(0usize) += 1;
+            }
+            for (_, c) in counts {
+                assert!(c >= 8);
+            }
+        }
+        let all: Vec<u32> = (0..20).collect();
+        check(&tree, &x, &all);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_values() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let y = vec![10.0, 10.0];
+        let binned = BinnedMatrix::from_matrix(&x, 8).unwrap();
+        let mut rows: Vec<u32> = vec![0, 1];
+        let params = GrowParams { lambda: 2.0, max_depth: 0, ..GrowParams::default() };
+        let tree = grow_tree(&binned, &y, &mut rows, &params, 0);
+        // leaf = sum / (n + lambda) = 20 / 4 = 5.
+        assert!((tree.predict_row(&[0.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_blocks_weak_splits() {
+        let (x, y) = step_data();
+        let binned = BinnedMatrix::from_matrix(&x, 32).unwrap();
+        let mut rows: Vec<u32> = (0..20).collect();
+        let params = GrowParams { gamma: 1e9, ..GrowParams::default() };
+        let tree = grow_tree(&binned, &y, &mut rows, &params, 0);
+        assert_eq!(tree.n_nodes(), 1, "huge gamma must forbid all splits");
+    }
+
+    #[test]
+    fn empty_rows_give_zero_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        let binned = BinnedMatrix::from_matrix(&x, 8).unwrap();
+        let mut rows: Vec<u32> = vec![];
+        let tree = grow_tree(&binned, &[0.0], &mut rows, &GrowParams::default(), 0);
+        assert_eq!(tree.predict_row(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        // Two features; only feature 1 is informative. With mtry = 1 some nodes
+        // see only feature 0, but depth lets the tree recover.
+        let rows_data: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![(i % 3) as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 100.0 }).collect();
+        let x = Matrix::from_rows(&rows_data).unwrap();
+        let binned = BinnedMatrix::from_matrix(&x, 32).unwrap();
+        let mut rows: Vec<u32> = (0..40).collect();
+        let params =
+            GrowParams { feature_subsample: Some(1), max_depth: 8, ..GrowParams::default() };
+        let tree = grow_tree(&binned, &y, &mut rows, &params, 7);
+        let pred_low = tree.predict_row(&[0.0, 5.0]);
+        let pred_high = tree.predict_row(&[0.0, 35.0]);
+        assert!(pred_low < 50.0 && pred_high > 50.0);
+    }
+}

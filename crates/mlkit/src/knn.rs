@@ -1,0 +1,227 @@
+//! k-nearest-neighbor regression — a non-parametric reference learner used to
+//! sanity-check the parametric models (if k-NN beats a trained model, the
+//! model is underfitting its feature space).
+
+use crate::error::{dim_mismatch, MlError, MlResult};
+use crate::linalg::{sq_dist, Matrix};
+use crate::scaler::StandardScaler;
+use crate::traits::{Footprint, Regressor};
+
+/// Distance weighting for neighbor votes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnWeights {
+    /// Plain average of the k nearest targets.
+    Uniform,
+    /// Inverse-distance weighting (exact matches dominate).
+    Distance,
+}
+
+/// Hyper-parameters for [`KnnRegressor`].
+#[derive(Debug, Clone)]
+pub struct KnnConfig {
+    /// Number of neighbors.
+    pub k: usize,
+    /// Vote weighting.
+    pub weights: KnnWeights,
+    /// Standardize features before distance computation (recommended —
+    /// cardinality features dwarf count features otherwise).
+    pub standardize: bool,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 5, weights: KnnWeights::Distance, standardize: true }
+    }
+}
+
+/// Brute-force k-NN regressor (stores the training set).
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    config: KnnConfig,
+    scaler: StandardScaler,
+    x: Matrix,
+    y: Vec<f64>,
+    fitted: bool,
+}
+
+impl KnnRegressor {
+    /// Creates an unfitted model.
+    pub fn new(config: KnnConfig) -> Self {
+        KnnRegressor {
+            config,
+            scaler: StandardScaler::new(),
+            x: Matrix::zeros(0, 0),
+            y: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Unfitted model with defaults.
+    pub fn default_config() -> Self {
+        KnnRegressor::new(KnnConfig::default())
+    }
+}
+
+impl Footprint for KnnRegressor {
+    fn num_parameters(&self) -> usize {
+        // The "model" is the training set itself.
+        self.x.rows() * self.x.cols() + self.y.len()
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> MlResult<()> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::EmptyInput("KnnRegressor::fit"));
+        }
+        if y.len() != x.rows() {
+            return Err(dim_mismatch(
+                format!("y.len() == {}", x.rows()),
+                format!("y.len() == {}", y.len()),
+            ));
+        }
+        if self.config.k == 0 {
+            return Err(MlError::InvalidHyperparameter("k must be >= 1".into()));
+        }
+        self.x = if self.config.standardize {
+            self.scaler.fit_transform(x)?
+        } else {
+            x.clone()
+        };
+        self.y = y.to_vec();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> MlResult<f64> {
+        if !self.fitted {
+            return Err(MlError::NotFitted("KnnRegressor"));
+        }
+        if row.len() != self.x.cols() {
+            return Err(dim_mismatch(
+                format!("row.len() == {}", self.x.cols()),
+                format!("row.len() == {}", row.len()),
+            ));
+        }
+        let mut q = row.to_vec();
+        if self.config.standardize {
+            self.scaler.transform_row(&mut q)?;
+        }
+        // Partial selection of the k smallest distances.
+        let k = self.config.k.min(self.x.rows());
+        let mut dists: Vec<(f64, usize)> =
+            self.x.row_iter().enumerate().map(|(i, r)| (sq_dist(r, &q), i)).collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let neighbors = &dists[..k];
+        match self.config.weights {
+            KnnWeights::Uniform => {
+                Ok(neighbors.iter().map(|&(_, i)| self.y[i]).sum::<f64>() / k as f64)
+            }
+            KnnWeights::Distance => {
+                // An exact match decides outright.
+                if let Some(&(_, i)) = neighbors.iter().find(|(d, _)| *d < 1e-24) {
+                    return Ok(self.y[i]);
+                }
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &(d, i) in neighbors {
+                    let w = 1.0 / d.sqrt();
+                    num += w * self.y[i];
+                    den += w;
+                }
+                Ok(num / den)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn wave(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>() * 6.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| (r[0]).sin() * 10.0).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn interpolates_a_smooth_function() {
+        let (x, y) = wave(500, 1);
+        let (xt, yt) = wave(100, 2);
+        let mut m = KnnRegressor::default_config();
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&xt).unwrap();
+        assert!(r2(&yt, &preds).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn exact_training_point_returns_its_target_under_distance_weights() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let y = vec![5.0, 7.0, 9.0];
+        let mut m = KnnRegressor::new(KnnConfig { k: 3, ..Default::default() });
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_row(&[1.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn uniform_weights_average_neighbors() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]).unwrap();
+        let y = vec![2.0, 4.0, 100.0];
+        let mut m = KnnRegressor::new(KnnConfig {
+            k: 2,
+            weights: KnnWeights::Uniform,
+            standardize: false,
+        });
+        m.fit(&x, &y).unwrap();
+        assert!((m.predict_row(&[0.4]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_capped() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let y = vec![1.0, 3.0];
+        let mut m = KnnRegressor::new(KnnConfig {
+            k: 50,
+            weights: KnnWeights::Uniform,
+            standardize: false,
+        });
+        m.fit(&x, &y).unwrap();
+        assert!((m.predict_row(&[0.5]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let mut m = KnnRegressor::new(KnnConfig { k: 0, ..Default::default() });
+        assert!(m.fit(&x, &[1.0, 2.0]).is_err());
+        let mut m = KnnRegressor::default_config();
+        assert!(m.fit(&x, &[1.0]).is_err());
+        assert!(m.fit(&Matrix::zeros(0, 1), &[]).is_err());
+        assert!(matches!(
+            KnnRegressor::default_config().predict_row(&[0.0]),
+            Err(MlError::NotFitted(_))
+        ));
+        m.fit(&x, &[1.0, 2.0]).unwrap();
+        assert!(m.predict_row(&[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn footprint_is_the_training_set() {
+        let (x, y) = wave(100, 3);
+        let mut m = KnnRegressor::default_config();
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.num_parameters(), 100 + 100);
+        assert_eq!(m.name(), "knn");
+    }
+}

@@ -1,0 +1,40 @@
+//! # wmp-mlkit — from-scratch ML substrate for the LearnedWMP reproduction
+//!
+//! The LearnedWMP paper trains its workload-memory predictors with
+//! scikit-learn and XGBoost. This crate provides the same algorithm families
+//! implemented from first principles in Rust, behind one [`Regressor`] trait:
+//!
+//! - [`ridge::Ridge`] — closed-form L2-regularized linear regression,
+//! - [`tree::DecisionTree`] — CART with histogram split finding,
+//! - [`forest::RandomForest`] — bagged trees with feature subsampling,
+//! - [`gbdt::GradientBoosting`] — XGBoost-style second-order boosting,
+//! - [`mlp::Mlp`] — multilayer perceptron with SGD / Adam / L-BFGS.
+//!
+//! Unsupervised pieces used by template learning: [`kmeans::KMeans`]
+//! (k-means++ + elbow method) and [`dbscan::dbscan`]. Evaluation lives in
+//! [`metrics`] (RMSE, MAPE, residual summaries) and model-size accounting in
+//! [`traits::Footprint`].
+
+#![warn(missing_docs)]
+
+pub mod binned;
+pub mod dbscan;
+pub mod error;
+pub mod forest;
+pub mod gbdt;
+pub mod grow;
+pub mod kmeans;
+pub mod knn;
+pub mod linalg;
+pub mod metrics;
+pub mod mlp;
+pub mod pca;
+pub mod ridge;
+pub mod scaler;
+pub mod search;
+pub mod traits;
+pub mod tree;
+
+pub use error::{MlError, MlResult};
+pub use linalg::Matrix;
+pub use traits::{Footprint, Regressor};

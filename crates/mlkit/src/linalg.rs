@@ -1,0 +1,460 @@
+//! Minimal dense linear algebra: a row-major `f64` matrix with exactly the
+//! operations the estimators in this crate need (products, transposes,
+//! Cholesky solves, power-iteration SVD for the embedding pipeline).
+
+use crate::error::{dim_mismatch, MlError, MlResult};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`MlError::DimensionMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> MlResult<Self> {
+        if data.len() != rows * cols {
+            return Err(dim_mismatch(
+                format!("data.len() == {}", rows * cols),
+                format!("data.len() == {}", data.len()),
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from row slices; all rows must have equal length.
+    ///
+    /// # Errors
+    /// Returns [`MlError::EmptyInput`] for zero rows and
+    /// [`MlError::DimensionMismatch`] for ragged rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> MlResult<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(MlError::EmptyInput("Matrix::from_rows received no rows"));
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(dim_mismatch(
+                    format!("row {i}.len() == {ncols}"),
+                    format!("row {i}.len() == {}", r.len()),
+                ));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: nrows, cols: ncols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor (panics on out-of-bounds, like slice indexing).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter (panics on out-of-bounds, like slice indexing).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Extracts column `c` into a new vector.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs` using an i-k-j loop order, which keeps the
+    /// inner loop streaming over contiguous rows of `rhs` (cache friendly —
+    /// this product sits on the MLP training hot path).
+    ///
+    /// # Errors
+    /// Returns [`MlError::DimensionMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> MlResult<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(dim_mismatch(
+                format!("lhs.cols == rhs.rows == {}", self.cols),
+                format!("rhs.rows == {}", rhs.rows),
+            ));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let lhs_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &lv) in lhs_row.iter().enumerate() {
+                if lv == 0.0 {
+                    continue; // histograms are sparse; skipping zeros is a real win
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &rv) in out_row.iter_mut().zip(rhs_row) {
+                    *o += lv * rv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Errors
+    /// Returns [`MlError::DimensionMismatch`] when `self.cols != v.len()`.
+    pub fn matvec(&self, v: &[f64]) -> MlResult<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(dim_mismatch(
+                format!("v.len() == {}", self.cols),
+                format!("v.len() == {}", v.len()),
+            ));
+        }
+        Ok(self.row_iter().map(|row| dot(row, v)).collect())
+    }
+
+    /// `Aᵀ·A` computed directly (without materializing the transpose), used by
+    /// the ridge normal equations.
+    pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        for row in self.row_iter() {
+            for (a, &ra) in row.iter().enumerate() {
+                if ra == 0.0 {
+                    continue;
+                }
+                let grow = &mut g.data[a * d..(a + 1) * d];
+                for (gv, &rb) in grow.iter_mut().zip(row) {
+                    *gv += ra * rb;
+                }
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ·y` without materializing the transpose.
+    ///
+    /// # Errors
+    /// Returns [`MlError::DimensionMismatch`] when `self.rows != y.len()`.
+    pub fn t_matvec(&self, y: &[f64]) -> MlResult<Vec<f64>> {
+        if self.rows != y.len() {
+            return Err(dim_mismatch(
+                format!("y.len() == {}", self.rows),
+                format!("y.len() == {}", y.len()),
+            ));
+        }
+        let mut out = vec![0.0; self.cols];
+        for (row, &w) in self.row_iter().zip(y) {
+            if w == 0.0 {
+                continue;
+            }
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += w * v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Cholesky factorization of a symmetric positive-definite matrix:
+    /// returns lower-triangular `L` with `L·Lᵀ == self`.
+    ///
+    /// # Errors
+    /// Returns [`MlError::SingularMatrix`] if the matrix is not positive
+    /// definite to working precision, and [`MlError::DimensionMismatch`] if it
+    /// is not square.
+    pub fn cholesky(&self) -> MlResult<Matrix> {
+        if self.rows != self.cols {
+            return Err(dim_mismatch("square matrix", format!("{}x{}", self.rows, self.cols)));
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(MlError::SingularMatrix);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `self · x = b` for symmetric positive-definite `self` via
+    /// Cholesky (forward then back substitution).
+    ///
+    /// # Errors
+    /// Propagates [`MlError::SingularMatrix`] / dimension errors.
+    pub fn cholesky_solve(&self, b: &[f64]) -> MlResult<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(dim_mismatch(format!("b.len() == {}", self.rows), format!("{}", b.len())));
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward substitution: L z = b.
+        let mut z = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // i indexes b, z, and L simultaneously
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l.get(i, k) * z[k];
+            }
+            z[i] = sum / l.get(i, i);
+        }
+        // Back substitution: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // i indexes z, x, and L simultaneously
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in (i + 1)..n {
+                sum -= l.get(k, i) * x[k];
+            }
+            x[i] = sum / l.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+/// Dot product of two equal-length slices (panics on length mismatch in debug
+/// builds via the zip contract; callers guarantee lengths).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, MlError::DimensionMismatch { .. }));
+        assert!(matches!(Matrix::from_rows(&[]), Err(MlError::EmptyInput(_))));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), m);
+        assert!(approx(t.get(2, 1), 6.0));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert!(approx(c.get(0, 0), 58.0));
+        assert!(approx(c.get(0, 1), 64.0));
+        assert!(approx(c.get(1, 0), 139.0));
+        assert!(approx(c.get(1, 1), 154.0));
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matvec_and_t_matvec() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let v = a.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(v, vec![-2.0, -2.0]);
+        let w = a.t_matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(w, vec![5.0, 7.0, 9.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.t_matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_equals_transpose_product() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let g = a.gram();
+        let expected = a.transpose().matmul(&a).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(approx(g.get(r, c), expected.get(r, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_factorizes_spd_matrix() {
+        // A = [[4, 2], [2, 3]] is SPD; L = [[2, 0], [1, sqrt(2)]].
+        let a = Matrix::from_vec(2, 2, vec![4., 2., 2., 3.]).unwrap();
+        let l = a.cholesky().unwrap();
+        assert!(approx(l.get(0, 0), 2.0));
+        assert!(approx(l.get(1, 0), 1.0));
+        assert!(approx(l.get(1, 1), 2.0_f64.sqrt()));
+        assert!(approx(l.get(0, 1), 0.0));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = Matrix::from_vec(2, 2, vec![0., 0., 0., 0.]).unwrap();
+        assert_eq!(a.cholesky().unwrap_err(), MlError::SingularMatrix);
+        let b = Matrix::from_vec(2, 2, vec![1., 2., 2., 1.]).unwrap(); // indefinite
+        assert_eq!(b.cholesky().unwrap_err(), MlError::SingularMatrix);
+        assert!(Matrix::zeros(2, 3).cholesky().is_err());
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        let a = Matrix::from_vec(3, 3, vec![6., 2., 1., 2., 5., 2., 1., 2., 4.]).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.cholesky_solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!(approx(*xi, *ti));
+        }
+        assert!(a.cholesky_solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert!(approx(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0));
+        assert!(approx(sq_dist(&[0., 0.], &[3., 4.]), 25.0));
+        assert!(approx(norm(&[3., 4.]), 5.0));
+    }
+
+    #[test]
+    fn frobenius_and_scale() {
+        let mut m = Matrix::from_vec(1, 2, vec![3., 4.]).unwrap();
+        assert!(approx(m.frobenius_norm(), 5.0));
+        m.scale(2.0);
+        assert!(approx(m.frobenius_norm(), 10.0));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Principal component analysis via subspace (orthogonal) iteration — used to
+//! visualize/compress plan-feature spaces and as the dimensionality-reduction
+//! building block behind the word-embedding pipeline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{dim_mismatch, MlError, MlResult};
+use crate::linalg::Matrix;
+
+/// Fitted PCA: mean vector + principal axes (rows) + explained variances.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    n_components: usize,
+    mean: Vec<f64>,
+    /// `n_components × d`, orthonormal rows.
+    components: Matrix,
+    explained_variance: Vec<f64>,
+    iterations: usize,
+    seed: u64,
+}
+
+impl Pca {
+    /// Creates an unfitted PCA keeping `n_components` axes.
+    pub fn new(n_components: usize) -> Self {
+        Pca {
+            n_components,
+            mean: Vec::new(),
+            components: Matrix::zeros(0, 0),
+            explained_variance: Vec::new(),
+            iterations: 64,
+            seed: 42,
+        }
+    }
+
+    /// Builder-style override of the iteration budget/seed.
+    pub fn with_iterations(mut self, iterations: usize, seed: u64) -> Self {
+        self.iterations = iterations;
+        self.seed = seed;
+        self
+    }
+
+    /// Fits the principal axes of `x` by subspace iteration on the covariance
+    /// matrix (never materializing it: each step computes `Xᵀ(X·V)/n`).
+    ///
+    /// # Errors
+    /// Returns [`MlError::EmptyInput`] for an empty matrix and
+    /// [`MlError::InvalidHyperparameter`] when `n_components` is 0 or exceeds
+    /// the feature count.
+    pub fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        let n = x.rows();
+        let d = x.cols();
+        if n == 0 || d == 0 {
+            return Err(MlError::EmptyInput("Pca::fit"));
+        }
+        if self.n_components == 0 || self.n_components > d {
+            return Err(MlError::InvalidHyperparameter(format!(
+                "n_components = {} must be in 1..={d}",
+                self.n_components
+            )));
+        }
+        // Center.
+        let mut mean = vec![0.0; d];
+        for row in x.row_iter() {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut xc = x.clone();
+        for r in 0..n {
+            for (v, m) in xc.row_mut(r).iter_mut().zip(&mean) {
+                *v -= m;
+            }
+        }
+        // Subspace iteration on C = XᵀX / n, as V ← orth(Xᵀ(X·V)/n).
+        let k = self.n_components;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut v = Matrix::zeros(d, k);
+        for val in v.as_mut_slice() {
+            *val = rng.gen::<f64>() - 0.5;
+        }
+        orthonormalize_columns(&mut v);
+        for _ in 0..self.iterations {
+            let xv = xc.matmul(&v)?; // n × k
+            let mut xtxv = Matrix::zeros(d, k);
+            for (row, proj) in xc.row_iter().zip(xv.row_iter()) {
+                for (j, &p) in proj.iter().enumerate() {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    for (i, &rv) in row.iter().enumerate() {
+                        xtxv.set(i, j, xtxv.get(i, j) + rv * p);
+                    }
+                }
+            }
+            xtxv.scale(1.0 / n as f64);
+            v = xtxv;
+            orthonormalize_columns(&mut v);
+        }
+        // Explained variance per axis: var(X·v_j).
+        let mut variances = Vec::with_capacity(k);
+        let xv = xc.matmul(&v)?;
+        for j in 0..k {
+            let col = xv.column(j);
+            variances.push(col.iter().map(|c| c * c).sum::<f64>() / n as f64);
+        }
+        // Sort axes by decreasing variance for a canonical order.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| variances[b].partial_cmp(&variances[a]).expect("finite"));
+        let mut components = Matrix::zeros(k, d);
+        let mut explained = Vec::with_capacity(k);
+        for (out_row, &j) in order.iter().enumerate() {
+            for i in 0..d {
+                components.set(out_row, i, v.get(i, j));
+            }
+            explained.push(variances[j]);
+        }
+        self.mean = mean;
+        self.components = components;
+        self.explained_variance = explained;
+        Ok(())
+    }
+
+    /// Projects rows of `x` onto the principal axes.
+    ///
+    /// # Errors
+    /// Returns [`MlError::NotFitted`] before `fit` or a dimension error.
+    pub fn transform(&self, x: &Matrix) -> MlResult<Matrix> {
+        if self.mean.is_empty() {
+            return Err(MlError::NotFitted("Pca"));
+        }
+        if x.cols() != self.mean.len() {
+            return Err(dim_mismatch(
+                format!("x.cols == {}", self.mean.len()),
+                format!("x.cols == {}", x.cols()),
+            ));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_components);
+        for (r, row) in x.row_iter().enumerate() {
+            for c in 0..self.n_components {
+                let axis = self.components.row(c);
+                let mut dot = 0.0;
+                for ((v, m), a) in row.iter().zip(&self.mean).zip(axis) {
+                    dot += (v - m) * a;
+                }
+                out.set(r, c, dot);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fit then transform.
+    ///
+    /// # Errors
+    /// Propagates `fit`/`transform` errors.
+    pub fn fit_transform(&mut self, x: &Matrix) -> MlResult<Matrix> {
+        self.fit(x)?;
+        self.transform(x)
+    }
+
+    /// Principal axes as rows (`None` before fit).
+    pub fn components(&self) -> Option<&Matrix> {
+        if self.mean.is_empty() {
+            None
+        } else {
+            Some(&self.components)
+        }
+    }
+
+    /// Variance captured by each axis, in decreasing order.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+}
+
+/// Modified Gram-Schmidt over the columns of `m`, in place.
+pub fn orthonormalize_columns(m: &mut Matrix) {
+    let (n, d) = (m.rows(), m.cols());
+    for c in 0..d {
+        for prev in 0..c {
+            let mut proj = 0.0;
+            for r in 0..n {
+                proj += m.get(r, c) * m.get(r, prev);
+            }
+            for r in 0..n {
+                let v = m.get(r, c) - proj * m.get(r, prev);
+                m.set(r, c, v);
+            }
+        }
+        let mut norm = 0.0;
+        for r in 0..n {
+            norm += m.get(r, c) * m.get(r, c);
+        }
+        let norm = norm.sqrt();
+        if norm > 1e-12 {
+            for r in 0..n {
+                m.set(r, c, m.get(r, c) / norm);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Data stretched along the (1, 1) diagonal with small orthogonal noise.
+    fn diagonal_cloud(n: usize) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let t = rng.gen::<f64>() * 20.0 - 10.0;
+                let noise = rng.gen::<f64>() * 0.2 - 0.1;
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn first_axis_aligns_with_dominant_direction() {
+        let x = diagonal_cloud(400);
+        let mut pca = Pca::new(2);
+        pca.fit(&x).unwrap();
+        let axis = pca.components().unwrap().row(0);
+        // (±1/√2, ±1/√2) with equal signs.
+        assert!((axis[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+        assert!((axis[0] - axis[1]).abs() < 0.1, "components share sign on the diagonal");
+        let ev = pca.explained_variance();
+        assert!(ev[0] > ev[1] * 100.0, "diagonal variance dominates: {ev:?}");
+    }
+
+    #[test]
+    fn axes_are_orthonormal() {
+        let x = diagonal_cloud(200);
+        let mut pca = Pca::new(2);
+        pca.fit(&x).unwrap();
+        let c = pca.components().unwrap();
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        assert!((dot(c.row(0), c.row(0)) - 1.0).abs() < 1e-9);
+        assert!((dot(c.row(1), c.row(1)) - 1.0).abs() < 1e-9);
+        assert!(dot(c.row(0), c.row(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_centers_and_projects() {
+        let x = diagonal_cloud(300);
+        let mut pca = Pca::new(1);
+        let t = pca.fit_transform(&x).unwrap();
+        assert_eq!(t.rows(), 300);
+        assert_eq!(t.cols(), 1);
+        let mean = t.column(0).iter().sum::<f64>() / 300.0;
+        assert!(mean.abs() < 1e-9, "projections are centered");
+        // The projection spans roughly the diagonal extent (±10·√2).
+        let max = t.column(0).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > 10.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = diagonal_cloud(10);
+        assert!(Pca::new(0).fit(&x).is_err());
+        assert!(Pca::new(3).fit(&x).is_err());
+        assert!(Pca::new(1).fit(&Matrix::zeros(0, 2)).is_err());
+        assert!(matches!(Pca::new(1).transform(&x), Err(MlError::NotFitted(_))));
+        let mut pca = Pca::new(1);
+        pca.fit(&x).unwrap();
+        assert!(pca.transform(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let x = diagonal_cloud(100);
+        let mut a = Pca::new(2);
+        let mut b = Pca::new(2);
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.components().unwrap(), b.components().unwrap());
+    }
+}

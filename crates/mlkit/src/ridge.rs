@@ -1,0 +1,197 @@
+//! Ridge regression (L2-regularized least squares) solved in closed form via
+//! the normal equations and a Cholesky factorization — the paper's linear
+//! baseline (§III-B4).
+
+use crate::error::{dim_mismatch, MlError, MlResult};
+use crate::linalg::{dot, Matrix};
+use crate::traits::{Footprint, Regressor};
+
+/// Ridge regressor: minimizes `||Xw - y||² + alpha ||w||²` (intercept not
+/// penalized, as in scikit-learn).
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    /// L2 penalty strength; `0` recovers ordinary least squares.
+    pub alpha: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl Ridge {
+    /// Creates an unfitted ridge model with penalty `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Ridge { alpha, weights: Vec::new(), intercept: 0.0, fitted: false }
+    }
+
+    /// Learned coefficients (empty before fit).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Footprint for Ridge {
+    fn num_parameters(&self) -> usize {
+        if self.fitted {
+            self.weights.len() + 1
+        } else {
+            0
+        }
+    }
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> MlResult<()> {
+        let n = x.rows();
+        let d = x.cols();
+        if n == 0 || d == 0 {
+            return Err(MlError::EmptyInput("Ridge::fit"));
+        }
+        if y.len() != n {
+            return Err(dim_mismatch(format!("y.len() == {n}"), format!("y.len() == {}", y.len())));
+        }
+        if self.alpha < 0.0 {
+            return Err(MlError::InvalidHyperparameter(format!(
+                "alpha = {} must be >= 0",
+                self.alpha
+            )));
+        }
+        // Center features and target so the intercept absorbs the means and
+        // stays unpenalized.
+        let mut x_mean = vec![0.0; d];
+        for row in x.row_iter() {
+            for (m, v) in x_mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n as f64;
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+
+        let mut xc = x.clone();
+        for r in 0..n {
+            for (v, m) in xc.row_mut(r).iter_mut().zip(&x_mean) {
+                *v -= m;
+            }
+        }
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        // Normal equations: (XᵀX + αI) w = Xᵀy.
+        let mut gram = xc.gram();
+        // A tiny jitter keeps the system solvable when alpha == 0 and X is
+        // rank-deficient (e.g. constant plan-feature columns).
+        let jitter = 1e-10;
+        for i in 0..d {
+            let v = gram.get(i, i) + self.alpha + jitter;
+            gram.set(i, i, v);
+        }
+        let xty = xc.t_matvec(&yc)?;
+        self.weights = gram.cholesky_solve(&xty)?;
+        self.intercept = y_mean - dot(&self.weights, &x_mean);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> MlResult<f64> {
+        if !self.fitted {
+            return Err(MlError::NotFitted("Ridge"));
+        }
+        if row.len() != self.weights.len() {
+            return Err(dim_mismatch(
+                format!("row.len() == {}", self.weights.len()),
+                format!("row.len() == {}", row.len()),
+            ));
+        }
+        Ok(dot(&self.weights, row) + self.intercept)
+    }
+
+    fn name(&self) -> &'static str {
+        "ridge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 2 x0 - 3 x1 + 5 with no noise; tiny alpha ~ OLS.
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|_| vec![rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = Ridge::new(1e-8);
+        m.fit(&x, &y).unwrap();
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-4);
+        assert!((m.coefficients()[1] + 3.0).abs() < 1e-4);
+        assert!((m.intercept() - 5.0).abs() < 1e-3);
+        let pred = m.predict(&x).unwrap();
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn large_alpha_shrinks_coefficients_toward_zero() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut small = Ridge::new(1e-6);
+        let mut large = Ridge::new(1e6);
+        small.fit(&x, &y).unwrap();
+        large.fit(&x, &y).unwrap();
+        assert!(large.coefficients()[0].abs() < small.coefficients()[0].abs());
+        assert!(large.coefficients()[0].abs() < 0.1);
+        // With huge shrinkage the prediction collapses to the target mean.
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((large.predict_row(&[10.0]).unwrap() - y_mean).abs() < 1.0);
+    }
+
+    #[test]
+    fn handles_rank_deficient_features() {
+        // Second column duplicates the first: singular XᵀX, ridge still solves.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 4.0 * i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = Ridge::new(1e-3);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_row(&[5.0, 5.0]).unwrap();
+        assert!((p - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let mut m = Ridge::new(1.0);
+        assert!(m.fit(&x, &[1.0]).is_err());
+        assert!(m.fit(&Matrix::zeros(0, 1), &[]).is_err());
+        let mut neg = Ridge::new(-1.0);
+        assert!(neg.fit(&x, &[1.0, 2.0]).is_err());
+        assert!(matches!(Ridge::new(1.0).predict_row(&[1.0]), Err(MlError::NotFitted(_))));
+        m.fit(&x, &[1.0, 2.0]).unwrap();
+        assert!(m.predict_row(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn footprint_counts_coefficients_plus_intercept() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![2.0, 1.0, 0.0]]).unwrap();
+        let mut m = Ridge::new(1.0);
+        assert_eq!(m.num_parameters(), 0);
+        m.fit(&x, &[1.0, 2.0]).unwrap();
+        assert_eq!(m.num_parameters(), 4);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Ridge::new(1.0).name(), "ridge");
+    }
+}

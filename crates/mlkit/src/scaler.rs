@@ -1,0 +1,170 @@
+//! Feature standardization (zero mean, unit variance), matching the
+//! preprocessing the paper applies before k-means template learning and MLP
+//! training.
+
+use crate::error::{dim_mismatch, MlError, MlResult};
+use crate::linalg::Matrix;
+
+/// Per-feature standard scaler: `x' = (x - mean) / std`.
+///
+/// Constant features (zero variance) are mapped to zero rather than dividing
+/// by zero, which matters for sparse plan-feature columns (an operator type
+/// that never appears in a benchmark).
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learns per-column means and standard deviations.
+    ///
+    /// # Errors
+    /// Returns [`MlError::EmptyInput`] if `x` has no rows or columns.
+    pub fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::EmptyInput("StandardScaler::fit"));
+        }
+        let n = x.rows() as f64;
+        let d = x.cols();
+        let mut means = vec![0.0; d];
+        for row in x.row_iter() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for row in x.row_iter() {
+            for ((var, v), m) in vars.iter_mut().zip(row).zip(&means) {
+                let diff = v - m;
+                *var += diff * diff;
+            }
+        }
+        self.stds = vars.iter().map(|v| (v / n).sqrt()).collect();
+        self.means = means;
+        Ok(())
+    }
+
+    /// Returns a standardized copy of `x`.
+    ///
+    /// # Errors
+    /// Returns [`MlError::NotFitted`] before `fit` and a dimension error when
+    /// the column count changed.
+    pub fn transform(&self, x: &Matrix) -> MlResult<Matrix> {
+        if self.means.is_empty() {
+            return Err(MlError::NotFitted("StandardScaler"));
+        }
+        if x.cols() != self.means.len() {
+            return Err(dim_mismatch(
+                format!("x.cols == {}", self.means.len()),
+                format!("x.cols == {}", x.cols()),
+            ));
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = if *s > 0.0 { (*v - m) / s } else { 0.0 };
+            }
+        }
+        Ok(out)
+    }
+
+    /// Standardizes a single row in place.
+    ///
+    /// # Errors
+    /// Same conditions as [`StandardScaler::transform`].
+    pub fn transform_row(&self, row: &mut [f64]) -> MlResult<()> {
+        if self.means.is_empty() {
+            return Err(MlError::NotFitted("StandardScaler"));
+        }
+        if row.len() != self.means.len() {
+            return Err(dim_mismatch(
+                format!("row.len() == {}", self.means.len()),
+                format!("row.len() == {}", row.len()),
+            ));
+        }
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = if *s > 0.0 { (*v - m) / s } else { 0.0 };
+        }
+        Ok(())
+    }
+
+    /// Convenience: fit then transform.
+    ///
+    /// # Errors
+    /// Propagates errors from [`StandardScaler::fit`].
+    pub fn fit_transform(&mut self, x: &Matrix) -> MlResult<Matrix> {
+        self.fit(x)?;
+        self.transform(x)
+    }
+
+    /// Learned means (empty before `fit`).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Learned standard deviations (empty before `fit`).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let x =
+            Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap();
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&x).unwrap();
+        for c in 0..2 {
+            let col = t.column(c);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_columns_map_to_zero() {
+        let x = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0]]).unwrap();
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&x).unwrap();
+        assert_eq!(t.column(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_rows(&[vec![1.0, -4.0], vec![3.0, 4.0]]).unwrap();
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&x).unwrap();
+        let mut row = vec![1.0, -4.0];
+        s.transform_row(&mut row).unwrap();
+        assert_eq!(row, t.row(0).to_vec());
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_mismatch() {
+        let s = StandardScaler::new();
+        assert!(matches!(s.transform(&Matrix::zeros(1, 1)), Err(MlError::NotFitted(_))));
+        let mut s = StandardScaler::new();
+        s.fit(&Matrix::zeros(2, 2)).unwrap();
+        assert!(s.transform(&Matrix::zeros(2, 3)).is_err());
+        let mut row = vec![0.0; 3];
+        assert!(s.transform_row(&mut row).is_err());
+        let mut s2 = StandardScaler::new();
+        assert!(matches!(s2.fit(&Matrix::zeros(0, 2)), Err(MlError::EmptyInput(_))));
+    }
+}

@@ -1,0 +1,197 @@
+//! K-fold cross-validation and randomized hyper-parameter search — the tuning
+//! machinery the paper uses ("randomized search using scikit-learn", §III-B3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::{MlError, MlResult};
+use crate::linalg::Matrix;
+use crate::metrics::rmse;
+use crate::traits::Regressor;
+
+/// Shuffled k-fold split: returns `(train_indices, test_indices)` per fold.
+///
+/// # Errors
+/// Returns [`MlError::InvalidHyperparameter`] unless `2 <= k <= n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> MlResult<Vec<(Vec<usize>, Vec<usize>)>> {
+    if k < 2 || k > n {
+        return Err(MlError::InvalidHyperparameter(format!("k = {k} must be in 2..={n}")));
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let test: Vec<usize> = order[start..start + len].to_vec();
+        let train: Vec<usize> =
+            order[..start].iter().chain(&order[start + len..]).copied().collect();
+        folds.push((train, test));
+        start += len;
+    }
+    Ok(folds)
+}
+
+fn take_rows(x: &Matrix, idx: &[usize]) -> MlResult<Matrix> {
+    Matrix::from_rows(&idx.iter().map(|&i| x.row(i).to_vec()).collect::<Vec<_>>())
+}
+
+/// Cross-validated RMSE of a model family over `n_folds` shuffled folds.
+///
+/// `build` constructs a fresh unfitted model per fold.
+///
+/// # Errors
+/// Propagates fold-construction and fit/predict errors.
+pub fn cross_val_rmse(
+    x: &Matrix,
+    y: &[f64],
+    n_folds: usize,
+    seed: u64,
+    build: &dyn Fn() -> Box<dyn Regressor>,
+) -> MlResult<f64> {
+    let folds = kfold_indices(x.rows(), n_folds, seed)?;
+    let mut total = 0.0;
+    for (train_idx, test_idx) in &folds {
+        let x_tr = take_rows(x, train_idx)?;
+        let y_tr: Vec<f64> = train_idx.iter().map(|&i| y[i]).collect();
+        let x_te = take_rows(x, test_idx)?;
+        let y_te: Vec<f64> = test_idx.iter().map(|&i| y[i]).collect();
+        let mut model = build();
+        model.fit(&x_tr, &y_tr)?;
+        let pred = model.predict(&x_te)?;
+        total += rmse(&y_te, &pred)?;
+    }
+    Ok(total / folds.len() as f64)
+}
+
+/// Result of a randomized search: the winning candidate and its CV score.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome<C> {
+    /// The best candidate configuration.
+    pub best: C,
+    /// Its cross-validated RMSE.
+    pub cv_rmse: f64,
+    /// Every evaluated `(candidate, score)` pair, in evaluation order.
+    pub trials: Vec<(C, f64)>,
+}
+
+/// Randomized hyper-parameter search: samples `n_candidates` configurations,
+/// scores each with `n_folds`-fold CV, and returns the best.
+///
+/// # Errors
+/// Returns [`MlError::InvalidHyperparameter`] for zero candidates and
+/// propagates CV errors.
+pub fn randomized_search<C: Clone>(
+    x: &Matrix,
+    y: &[f64],
+    n_candidates: usize,
+    n_folds: usize,
+    seed: u64,
+    sample: &dyn Fn(&mut StdRng) -> C,
+    build: &dyn Fn(&C) -> Box<dyn Regressor>,
+) -> MlResult<SearchOutcome<C>> {
+    if n_candidates == 0 {
+        return Err(MlError::InvalidHyperparameter("n_candidates must be >= 1".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trials: Vec<(C, f64)> = Vec::with_capacity(n_candidates);
+    for trial in 0..n_candidates {
+        let candidate = sample(&mut rng);
+        let score = cross_val_rmse(x, y, n_folds, seed.wrapping_add(trial as u64), &|| {
+            build(&candidate)
+        })?;
+        trials.push((candidate, score));
+    }
+    let (best, cv_rmse) = trials
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite CV scores"))
+        .map(|(c, s)| (c.clone(), *s))
+        .expect("at least one trial");
+    Ok(SearchOutcome { best, cv_rmse, trials })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ridge::Ridge;
+    use rand::Rng;
+
+    #[test]
+    fn kfold_partitions_everything_exactly_once() {
+        let folds = kfold_indices(10, 3, 1).unwrap();
+        assert_eq!(folds.len(), 3);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, te)| te.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        for (tr, te) in &folds {
+            assert_eq!(tr.len() + te.len(), 10);
+            assert!(te.iter().all(|i| !tr.contains(i)));
+        }
+    }
+
+    #[test]
+    fn kfold_validates_k() {
+        assert!(kfold_indices(5, 1, 0).is_err());
+        assert!(kfold_indices(5, 6, 0).is_err());
+        assert!(kfold_indices(5, 5, 0).is_ok());
+    }
+
+    fn noisy_linear(n: usize) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>()]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + rng.gen::<f64>() * 0.01).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn cross_val_rmse_is_small_for_good_model() {
+        let (x, y) = noisy_linear(60);
+        let score =
+            cross_val_rmse(&x, &y, 4, 0, &|| Box::new(Ridge::new(1e-6)) as Box<dyn Regressor>)
+                .unwrap();
+        assert!(score < 0.05, "score = {score}");
+    }
+
+    #[test]
+    fn randomized_search_prefers_small_alpha_on_clean_data() {
+        let (x, y) = noisy_linear(60);
+        let outcome = randomized_search(
+            &x,
+            &y,
+            8,
+            3,
+            0,
+            &|rng: &mut StdRng| 10f64.powf(rng.gen_range(-6.0..4.0)),
+            &|alpha: &f64| Box::new(Ridge::new(*alpha)) as Box<dyn Regressor>,
+        )
+        .unwrap();
+        assert_eq!(outcome.trials.len(), 8);
+        // On clean linear data less regularization is better; the winner must
+        // beat heavy shrinkage candidates.
+        assert!(outcome.best < 100.0);
+        let worst = outcome
+            .trials
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(outcome.cv_rmse <= worst);
+    }
+
+    #[test]
+    fn randomized_search_rejects_zero_candidates() {
+        let (x, y) = noisy_linear(20);
+        let r = randomized_search(
+            &x,
+            &y,
+            0,
+            3,
+            0,
+            &|_rng: &mut StdRng| 1.0,
+            &|a: &f64| Box::new(Ridge::new(*a)) as Box<dyn Regressor>,
+        );
+        assert!(r.is_err());
+    }
+}

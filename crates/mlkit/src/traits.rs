@@ -1,0 +1,102 @@
+//! Core estimator traits: [`Regressor`] (shared fit/predict contract) and
+//! [`Footprint`] (structural model-size accounting used by the paper's
+//! "model size" comparison, Fig. 8).
+
+use crate::error::MlResult;
+use crate::linalg::Matrix;
+
+/// Structural size accounting for a trained model.
+///
+/// The paper compares serialized model sizes in kilobytes; we account for the
+/// in-memory size of learned parameters instead (a deterministic equivalent
+/// that does not require a serialization dependency).
+pub trait Footprint {
+    /// Number of learned scalar parameters (weights, thresholds, leaf values,
+    /// centroid coordinates, ...).
+    fn num_parameters(&self) -> usize;
+
+    /// Estimated size of the persisted model in bytes.
+    ///
+    /// The default assumes 8 bytes per learned parameter plus a small fixed
+    /// header; structured models (trees) override this to account for their
+    /// topology (child pointers, feature ids).
+    fn footprint_bytes(&self) -> usize {
+        self.num_parameters() * 8 + 64
+    }
+
+    /// Footprint in kilobytes, the unit used in the paper's Fig. 8.
+    fn footprint_kb(&self) -> f64 {
+        self.footprint_bytes() as f64 / 1024.0
+    }
+}
+
+/// A supervised regressor mapping feature rows to a scalar target.
+///
+/// All models in this crate implement this trait so the LearnedWMP and
+/// SingleWMP pipelines can swap learners (DNN / Ridge / DT / RF / XGB) behind
+/// one interface, as the paper does in §III-B4.
+pub trait Regressor: Footprint + Send {
+    /// Fits the model on `x` (one row per example) and targets `y`.
+    ///
+    /// # Errors
+    /// Implementations return dimension/emptiness/numerical errors from
+    /// [`crate::error::MlError`].
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> MlResult<()>;
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Errors
+    /// Returns [`crate::error::MlError::NotFitted`] before `fit`, or a
+    /// dimension error if the row width disagrees with the training data.
+    fn predict_row(&self, row: &[f64]) -> MlResult<f64>;
+
+    /// Predicts targets for every row of `x`.
+    ///
+    /// # Errors
+    /// Same conditions as [`Regressor::predict_row`].
+    fn predict(&self, x: &Matrix) -> MlResult<Vec<f64>> {
+        x.row_iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Short stable name used in reports ("ridge", "xgb", ...).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+
+    impl Footprint for Fixed {
+        fn num_parameters(&self) -> usize {
+            1
+        }
+    }
+
+    impl Regressor for Fixed {
+        fn fit(&mut self, _x: &Matrix, _y: &[f64]) -> MlResult<()> {
+            Ok(())
+        }
+        fn predict_row(&self, _row: &[f64]) -> MlResult<f64> {
+            Ok(self.0)
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn default_predict_maps_rows() {
+        let m = Fixed(7.0);
+        let x = Matrix::zeros(3, 2);
+        assert_eq!(m.predict(&x).unwrap(), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn default_footprint_accounting() {
+        let m = Fixed(0.0);
+        assert_eq!(m.footprint_bytes(), 8 + 64);
+        assert!((m.footprint_kb() - 72.0 / 1024.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the ML substrate's core numerical invariants.
+
+use proptest::prelude::*;
+
+use wmp_mlkit::forest::{RandomForest, RandomForestConfig};
+use wmp_mlkit::kmeans::KMeans;
+use wmp_mlkit::linalg::Matrix;
+use wmp_mlkit::ridge::Ridge;
+use wmp_mlkit::scaler::StandardScaler;
+use wmp_mlkit::tree::DecisionTree;
+use wmp_mlkit::Regressor;
+
+/// Strategy: a small random matrix with bounded entries.
+fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized data"))
+    })
+}
+
+/// Strategy: a supervised dataset (x, y) with consistent lengths.
+fn arb_dataset() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (5usize..40, 1usize..4).prop_flat_map(|(n, d)| {
+        (
+            prop::collection::vec(-50.0f64..50.0, n * d)
+                .prop_map(move |data| Matrix::from_vec(n, d, data).expect("sized data")),
+            prop::collection::vec(-1000.0f64..1000.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_an_involution(m in arb_matrix(1..8, 1..8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity(m in arb_matrix(1..8, 1..8)) {
+        let i = Matrix::identity(m.cols());
+        prop_assert_eq!(m.matmul(&i).expect("shapes agree"), m.clone());
+        let i = Matrix::identity(m.rows());
+        prop_assert_eq!(i.matmul(&m).expect("shapes agree"), m);
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_psd_diagonal(m in arb_matrix(2..10, 1..6)) {
+        let g = m.gram();
+        for r in 0..g.rows() {
+            prop_assert!(g.get(r, r) >= -1e-9, "diagonal of AᵀA is nonnegative");
+            for c in 0..g.cols() {
+                prop_assert!((g.get(r, c) - g.get(c, r)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_solves(dim in 1usize..6, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Build an SPD matrix A = BᵀB + I.
+        let b = {
+            let data: Vec<f64> = (0..dim * dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            Matrix::from_vec(dim, dim, data).expect("sized")
+        };
+        let mut a = b.gram();
+        for i in 0..dim {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let x_true: Vec<f64> = (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let rhs = a.matvec(&x_true).expect("shapes agree");
+        let x = a.cholesky_solve(&rhs).expect("SPD system solves");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-6, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn scaler_output_has_zero_mean((x, _) in arb_dataset()) {
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&x).expect("fit");
+        for c in 0..t.cols() {
+            let col = t.column(c);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmeans_labels_are_in_range((x, _) in arb_dataset(), k in 1usize..5) {
+        let k = k.min(x.rows());
+        let mut km = KMeans::with_k(k);
+        let labels = km.fit(&x).expect("fit");
+        prop_assert!(labels.iter().all(|&l| l < k));
+        // Predict agrees with in-range contract too.
+        for r in 0..x.rows() {
+            prop_assert!(km.predict_row(x.row(r)).expect("predict") < k);
+        }
+    }
+
+    #[test]
+    fn tree_predictions_stay_within_target_range((x, y) in arb_dataset()) {
+        let mut dt = DecisionTree::default_config();
+        dt.fit(&x, &y).expect("fit");
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for r in 0..x.rows() {
+            let p = dt.predict_row(x.row(r)).expect("predict");
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "leaf means stay in range");
+        }
+    }
+
+    #[test]
+    fn forest_predictions_stay_within_target_range((x, y) in arb_dataset()) {
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 5,
+            n_threads: 1,
+            ..Default::default()
+        });
+        rf.fit(&x, &y).expect("fit");
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for r in 0..x.rows() {
+            let p = rf.predict_row(x.row(r)).expect("predict");
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "averages of leaf means stay in range");
+        }
+    }
+
+    #[test]
+    fn ridge_is_finite_everywhere((x, y) in arb_dataset()) {
+        let mut m = Ridge::new(1.0);
+        m.fit(&x, &y).expect("fit");
+        for r in 0..x.rows() {
+            prop_assert!(m.predict_row(x.row(r)).expect("predict").is_finite());
+        }
+    }
+
+    #[test]
+    fn heavier_ridge_regularization_never_grows_coefficients((x, y) in arb_dataset()) {
+        let mut light = Ridge::new(0.1);
+        let mut heavy = Ridge::new(1000.0);
+        light.fit(&x, &y).expect("fit");
+        heavy.fit(&x, &y).expect("fit");
+        let norm = |m: &Ridge| m.coefficients().iter().map(|c| c * c).sum::<f64>();
+        prop_assert!(norm(&heavy) <= norm(&light) + 1e-9);
+    }
+}

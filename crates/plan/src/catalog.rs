@@ -1,0 +1,149 @@
+//! The catalog: tables, indexes, and the hidden data model. One catalog per
+//! benchmark instance (TPC-DS / JOB / TPC-C).
+
+use std::collections::HashMap;
+
+use crate::datamodel::CorrelationModel;
+use crate::schema::{Column, Table};
+
+/// A single-column index usable for index scans and index-nested-loop joins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Index {
+    /// Indexed table.
+    pub table: String,
+    /// Indexed column.
+    pub column: String,
+    /// Whether the index enforces uniqueness (primary keys).
+    pub unique: bool,
+}
+
+/// A database catalog: schema + statistics + (hidden) correlation model.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: HashMap<String, usize>,
+    indexes: Vec<Index>,
+    /// The hidden truth about the data; the cardinality *estimator* never
+    /// reads this, only the workload generator and the executor simulator do.
+    pub correlations: CorrelationModel,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table (replacing any previous definition with the same name).
+    pub fn add_table(&mut self, table: Table) {
+        if let Some(&i) = self.by_name.get(&table.name) {
+            self.tables[i] = table;
+        } else {
+            self.by_name.insert(table.name.clone(), self.tables.len());
+            self.tables.push(table);
+        }
+    }
+
+    /// Declares a single-column index.
+    pub fn add_index(&mut self, table: &str, column: &str, unique: bool) {
+        self.indexes.push(Index { table: table.to_string(), column: column.to_string(), unique });
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.by_name.get(name).map(|&i| &self.tables[i])
+    }
+
+    /// All tables in insertion order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Whether an index exists on `table.column`.
+    pub fn has_index(&self, table: &str, column: &str) -> bool {
+        self.indexes.iter().any(|i| i.table == table && i.column == column)
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Looks up a column, returning `(table, column)` on success.
+    pub fn column(&self, table: &str, column: &str) -> Option<(&Table, &Column)> {
+        let t = self.table(table)?;
+        let c = t.column(column)?;
+        Some((t, c))
+    }
+
+    /// Names of all tables and columns, used by the text-mining vocabulary
+    /// builder (identifiers vs. arbitrary tokens).
+    pub fn identifier_vocabulary(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            out.push(t.name.clone());
+            for c in &t.columns {
+                out.push(c.name.clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn toy() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "orders",
+            1000,
+            vec![Column::new("o_id", ColumnType::Int, 1000), Column::new("o_cust", ColumnType::Int, 100)],
+        ));
+        cat.add_index("orders", "o_id", true);
+        cat
+    }
+
+    #[test]
+    fn table_and_column_lookup() {
+        let cat = toy();
+        assert!(cat.table("orders").is_some());
+        assert!(cat.table("nope").is_none());
+        assert!(cat.column("orders", "o_cust").is_some());
+        assert!(cat.column("orders", "nope").is_none());
+        assert!(cat.column("nope", "o_id").is_none());
+    }
+
+    #[test]
+    fn index_lookup() {
+        let cat = toy();
+        assert!(cat.has_index("orders", "o_id"));
+        assert!(!cat.has_index("orders", "o_cust"));
+        assert_eq!(cat.indexes().len(), 1);
+        assert!(cat.indexes()[0].unique);
+    }
+
+    #[test]
+    fn add_table_replaces_same_name() {
+        let mut cat = toy();
+        cat.add_table(Table::new("orders", 5000, vec![Column::new("o_id", ColumnType::Int, 5000)]));
+        assert_eq!(cat.table("orders").unwrap().row_count, 5000);
+        assert_eq!(cat.tables().len(), 1);
+    }
+
+    #[test]
+    fn identifier_vocabulary_is_sorted_and_unique() {
+        let cat = toy();
+        let vocab = cat.identifier_vocabulary();
+        assert!(vocab.contains(&"orders".to_string()));
+        assert!(vocab.contains(&"o_cust".to_string()));
+        let mut sorted = vocab.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(vocab, sorted);
+    }
+}

@@ -1,0 +1,54 @@
+//! Planning errors.
+
+use std::fmt;
+
+/// Errors produced while planning a query against a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The query references a table the catalog does not define.
+    UnknownTable(String),
+    /// The query references a column its table does not define.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// The query references an alias its FROM clause does not bind.
+    UnknownAlias(String),
+    /// The query has no tables.
+    NoTables,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            PlanError::UnknownColumn { table, column } => {
+                write!(f, "unknown column: {table}.{column}")
+            }
+            PlanError::UnknownAlias(a) => write!(f, "unknown alias: {a}"),
+            PlanError::NoTables => write!(f, "query references no tables"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Convenience alias.
+pub type PlanResult<T> = Result<T, PlanError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(PlanError::UnknownTable("t".into()).to_string().contains("t"));
+        assert!(PlanError::UnknownColumn { table: "t".into(), column: "c".into() }
+            .to_string()
+            .contains("t.c"));
+        assert!(PlanError::UnknownAlias("x".into()).to_string().contains("x"));
+        assert!(PlanError::NoTables.to_string().contains("no tables"));
+    }
+}

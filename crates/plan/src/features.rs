@@ -1,0 +1,103 @@
+//! Plan featurization (paper §III-B1, Fig. 2): for every operator type, a
+//! `(count, Σ estimated output cardinality)` pair, laid out in the stable
+//! [`ALL_OP_KINDS`] order. The paper borrows this feature set from Ganapathi
+//! et al. (reference 16 of the paper); both the k-means template learner and the SingleWMP per-query
+//! models consume it.
+
+use crate::plan::{PlanNode, ALL_OP_KINDS};
+
+/// Length of a plan feature vector: two features per operator kind.
+pub const N_PLAN_FEATURES: usize = ALL_OP_KINDS.len() * 2;
+
+/// Extracts the `(count, Σ est. cardinality)` feature vector from a plan.
+///
+/// Cardinalities are the *estimated* ones — at inference time true
+/// cardinalities are unknown, so models may only see optimizer output.
+pub fn featurize_plan(plan: &PlanNode) -> Vec<f64> {
+    let mut v = vec![0.0; N_PLAN_FEATURES];
+    for node in plan.iter() {
+        let i = node.op.kind().index();
+        v[2 * i] += 1.0;
+        v[2 * i + 1] += node.est_rows;
+    }
+    v
+}
+
+/// Human-readable names for each feature slot (`<OP>_count`, `<OP>_card`).
+pub fn feature_names() -> Vec<String> {
+    let mut names = Vec::with_capacity(N_PLAN_FEATURES);
+    for k in ALL_OP_KINDS {
+        names.push(format!("{}_count", k.name()));
+        names.push(format!("{}_card", k.name()));
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{OpKind, Operator, PlanNode};
+
+    fn sample_plan() -> PlanNode {
+        let scan_a = PlanNode::leaf(
+            Operator::TableScan { table: "a".into(), alias: "a".into() },
+            1000.0,
+            1100.0,
+            100,
+        );
+        let scan_b = PlanNode::leaf(
+            Operator::TableScan { table: "b".into(), alias: "b".into() },
+            200.0,
+            250.0,
+            80,
+        );
+        let join = PlanNode {
+            op: Operator::HashJoin,
+            children: vec![scan_a, scan_b],
+            est_rows: 500.0,
+            true_rows: 700.0,
+            row_width: 180,
+        };
+        PlanNode::unary(Operator::Sort { keys: vec!["a.x".into()] }, join, 500.0, 700.0, 180)
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_layout() {
+        let v = featurize_plan(&sample_plan());
+        assert_eq!(v.len(), N_PLAN_FEATURES);
+        let ts = OpKind::TableScan.index();
+        let hj = OpKind::HashJoin.index();
+        let so = OpKind::Sort.index();
+        assert_eq!(v[2 * ts], 2.0, "two table scans");
+        assert_eq!(v[2 * ts + 1], 1200.0, "sum of scan est cardinalities");
+        assert_eq!(v[2 * hj], 1.0);
+        assert_eq!(v[2 * hj + 1], 500.0);
+        assert_eq!(v[2 * so], 1.0);
+        // Absent operators contribute zeros.
+        let mj = OpKind::MergeJoin.index();
+        assert_eq!(v[2 * mj], 0.0);
+        assert_eq!(v[2 * mj + 1], 0.0);
+    }
+
+    #[test]
+    fn features_use_estimated_not_true_cardinalities() {
+        let v = featurize_plan(&sample_plan());
+        let hj = OpKind::HashJoin.index();
+        assert_eq!(v[2 * hj + 1], 500.0, "est_rows (500), never true_rows (700)");
+    }
+
+    #[test]
+    fn feature_names_align_with_vector() {
+        let names = feature_names();
+        assert_eq!(names.len(), N_PLAN_FEATURES);
+        assert_eq!(names[0], "TBSCAN_count");
+        assert_eq!(names[1], "TBSCAN_card");
+        let hj = OpKind::HashJoin.index();
+        assert_eq!(names[2 * hj], "HSJOIN_count");
+    }
+
+    #[test]
+    fn identical_plans_have_identical_features() {
+        assert_eq!(featurize_plan(&sample_plan()), featurize_plan(&sample_plan()));
+    }
+}

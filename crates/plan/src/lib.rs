@@ -1,0 +1,34 @@
+//! # wmp-plan — mini query-planning substrate for the LearnedWMP reproduction
+//!
+//! The paper runs against a commercial DBMS whose optimizer produces query
+//! execution plans annotated with estimated cardinalities. This crate rebuilds
+//! that substrate from scratch:
+//!
+//! - [`schema`] / [`catalog`] — tables, columns, statistics, indexes;
+//! - [`datamodel`] — the *hidden* truth (predicate correlations, join skew)
+//!   that breaks the estimator's independence assumptions;
+//! - [`query`] — logical query specifications, [`sql`] — SQL text rendering;
+//! - [`card`] — textbook cardinality estimation (estimates vs. truths);
+//! - [`planner`] — access paths, greedy join ordering, join/aggregation
+//!   method selection, sort elision;
+//! - [`plan`] — physical plan trees, [`features`] — the paper's
+//!   `(count, Σ cardinality)`-per-operator featurization (Fig. 2).
+
+#![warn(missing_docs)]
+
+pub mod card;
+pub mod catalog;
+pub mod datamodel;
+pub mod error;
+pub mod features;
+pub mod plan;
+pub mod planner;
+pub mod query;
+pub mod schema;
+pub mod sql;
+
+pub use catalog::Catalog;
+pub use error::{PlanError, PlanResult};
+pub use plan::{OpKind, Operator, PlanNode, ALL_OP_KINDS};
+pub use planner::{Planner, PlannerConfig};
+pub use query::QuerySpec;

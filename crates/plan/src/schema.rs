@@ -1,0 +1,157 @@
+//! Logical schema objects: column types, per-column statistics, and tables.
+//!
+//! The statistics mirror what a DBMS catalog keeps (row counts, distinct
+//! counts, null fractions, value-distribution hints) — exactly the inputs a
+//! textbook cardinality estimator consumes.
+
+/// SQL column type; widths drive row-size estimates, which in turn drive the
+/// working-memory model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    BigInt,
+    /// Fixed-point decimal (stored as 8 bytes here).
+    Decimal,
+    /// Fixed-width character string.
+    Char(u16),
+    /// Variable-width string; the argument is the declared maximum, the
+    /// estimator assumes half of it on average.
+    Varchar(u16),
+    /// Calendar date (4 bytes).
+    Date,
+}
+
+impl ColumnType {
+    /// Estimated stored width in bytes (the average width for `Varchar`).
+    pub fn width_bytes(self) -> u32 {
+        match self {
+            ColumnType::Int => 4,
+            ColumnType::BigInt => 8,
+            ColumnType::Decimal => 8,
+            ColumnType::Char(w) => w as u32,
+            ColumnType::Varchar(w) => (w as u32 / 2).max(1),
+            ColumnType::Date => 4,
+        }
+    }
+}
+
+/// Value-frequency distribution of a column, used when the workload generator
+/// draws the *true* selectivity of predicates (skewed columns make the
+/// uniformity assumption wrong).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Every distinct value is equally frequent — the estimator's assumption
+    /// holds and true selectivities sit close to `1 / ndv`.
+    Uniform,
+    /// Zipf-like skew with the given exponent (larger = more skew). Equality
+    /// predicates on such columns have heavy-tailed true selectivities.
+    Zipf(f64),
+}
+
+/// A column definition plus catalog statistics.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// SQL type.
+    pub ty: ColumnType,
+    /// Number of distinct values.
+    pub ndv: u64,
+    /// Fraction of NULLs in `[0, 1)`.
+    pub null_frac: f64,
+    /// Value-frequency distribution.
+    pub distribution: Distribution,
+}
+
+impl Column {
+    /// Convenience constructor for a uniform, non-null column.
+    pub fn new(name: &str, ty: ColumnType, ndv: u64) -> Self {
+        Column { name: name.to_string(), ty, ndv, null_frac: 0.0, distribution: Distribution::Uniform }
+    }
+
+    /// Builder-style override of the distribution.
+    pub fn with_distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Builder-style override of the null fraction.
+    pub fn with_null_frac(mut self, f: f64) -> Self {
+        self.null_frac = f;
+        self
+    }
+}
+
+/// A base table with statistics.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Cardinality (row count).
+    pub row_count: u64,
+    /// Column definitions.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table from parts.
+    pub fn new(name: &str, row_count: u64, columns: Vec<Column>) -> Self {
+        Table { name: name.to_string(), row_count, columns }
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Average stored row width in bytes (sum of column widths plus a small
+    /// per-row header, as real systems charge).
+    pub fn row_width(&self) -> u32 {
+        let data: u32 = self.columns.iter().map(|c| c.ty.width_bytes()).sum();
+        data + 16 // tuple header
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_type_widths() {
+        assert_eq!(ColumnType::Int.width_bytes(), 4);
+        assert_eq!(ColumnType::BigInt.width_bytes(), 8);
+        assert_eq!(ColumnType::Decimal.width_bytes(), 8);
+        assert_eq!(ColumnType::Char(10).width_bytes(), 10);
+        assert_eq!(ColumnType::Varchar(100).width_bytes(), 50);
+        assert_eq!(ColumnType::Varchar(1).width_bytes(), 1, "avg width never rounds to zero");
+        assert_eq!(ColumnType::Date.width_bytes(), 4);
+    }
+
+    #[test]
+    fn table_row_width_sums_columns_plus_header() {
+        let t = Table::new(
+            "t",
+            100,
+            vec![Column::new("a", ColumnType::Int, 10), Column::new("b", ColumnType::Char(20), 5)],
+        );
+        assert_eq!(t.row_width(), 4 + 20 + 16);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = Table::new("t", 1, vec![Column::new("a", ColumnType::Int, 10)]);
+        assert!(t.column("a").is_some());
+        assert!(t.column("zz").is_none());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = Column::new("a", ColumnType::Int, 10)
+            .with_distribution(Distribution::Zipf(1.1))
+            .with_null_frac(0.25);
+        assert_eq!(c.distribution, Distribution::Zipf(1.1));
+        assert_eq!(c.null_frac, 0.25);
+    }
+}

@@ -1,0 +1,182 @@
+//! SQL text rendering of a [`QuerySpec`]. The text-based template learners
+//! (bag-of-words / text-mining / embeddings, paper §IV-C) consume this output;
+//! it is also what the examples print.
+
+use std::fmt::Write as _;
+
+use crate::query::{AggFunc, CmpOp, QuerySpec};
+
+/// Renders a query spec as a SQL `SELECT` statement.
+pub fn render_sql(q: &QuerySpec) -> String {
+    let mut s = String::with_capacity(256);
+    s.push_str("SELECT ");
+    if q.distinct {
+        s.push_str("DISTINCT ");
+    }
+    let mut select_items: Vec<String> = Vec::new();
+    for (alias, col) in &q.group_by {
+        select_items.push(format!("{alias}.{col}"));
+    }
+    for agg in &q.aggregates {
+        if agg.func == AggFunc::Count {
+            select_items.push("COUNT(*)".to_string());
+        } else {
+            select_items.push(format!("{}({}.{})", agg.func.sql(), agg.table_alias, agg.column));
+        }
+    }
+    if select_items.is_empty() {
+        // Project the first table's columns.
+        select_items.push(format!("{}.*", q.tables.first().map(|t| t.alias.as_str()).unwrap_or("*")));
+    }
+    s.push_str(&select_items.join(", "));
+
+    s.push_str(" FROM ");
+    let froms: Vec<String> = q
+        .tables
+        .iter()
+        .map(|t| {
+            if t.table == t.alias {
+                t.table.clone()
+            } else {
+                format!("{} AS {}", t.table, t.alias)
+            }
+        })
+        .collect();
+    s.push_str(&froms.join(", "));
+
+    let mut conds: Vec<String> = Vec::new();
+    for j in &q.joins {
+        conds.push(format!("{}.{} = {}.{}", j.left_alias, j.left_col, j.right_alias, j.right_col));
+    }
+    for p in &q.predicates {
+        match &p.op {
+            CmpOp::InList(_) => {
+                conds.push(format!("{}.{} IN ({})", p.table_alias, p.column, p.literal));
+            }
+            CmpOp::Between => {
+                conds.push(format!("{}.{} BETWEEN {}", p.table_alias, p.column, p.literal));
+            }
+            op => {
+                conds.push(format!("{}.{} {} {}", p.table_alias, p.column, op.sql(), p.literal));
+            }
+        }
+    }
+    if !conds.is_empty() {
+        s.push_str(" WHERE ");
+        s.push_str(&conds.join(" AND "));
+    }
+
+    if !q.group_by.is_empty() {
+        s.push_str(" GROUP BY ");
+        let cols: Vec<String> =
+            q.group_by.iter().map(|(a, c)| format!("{a}.{c}")).collect();
+        s.push_str(&cols.join(", "));
+    }
+    if !q.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        let cols: Vec<String> =
+            q.order_by.iter().map(|(a, c)| format!("{a}.{c}")).collect();
+        s.push_str(&cols.join(", "));
+    }
+    if let Some(n) = q.limit {
+        let _ = write!(s, " FETCH FIRST {n} ROWS ONLY");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Aggregate, JoinEdge, Predicate, TableRef};
+
+    fn join_query() -> QuerySpec {
+        QuerySpec {
+            id: 7,
+            tables: vec![TableRef::new("orders", "o"), TableRef::new("customer", "c")],
+            joins: vec![JoinEdge {
+                left_alias: "o".into(),
+                left_col: "o_cust".into(),
+                right_alias: "c".into(),
+                right_col: "c_id".into(),
+            }],
+            predicates: vec![Predicate {
+                table_alias: "c".into(),
+                column: "c_nation".into(),
+                op: CmpOp::Eq,
+                literal: "'CA'".into(),
+                sel_est: 0.04,
+                sel_true: 0.05,
+            }],
+            group_by: vec![("c".into(), "c_nation".into())],
+            aggregates: vec![Aggregate {
+                func: AggFunc::Sum,
+                table_alias: "o".into(),
+                column: "o_total".into(),
+            }],
+            order_by: vec![("c".into(), "c_nation".into())],
+            distinct: false,
+            limit: Some(100),
+        }
+    }
+
+    #[test]
+    fn renders_full_query_shape() {
+        let sql = render_sql(&join_query());
+        assert!(sql.starts_with("SELECT c.c_nation, SUM(o.o_total) FROM orders AS o, customer AS c"));
+        assert!(sql.contains("WHERE o.o_cust = c.c_id AND c.c_nation = 'CA'"));
+        assert!(sql.contains("GROUP BY c.c_nation"));
+        assert!(sql.contains("ORDER BY c.c_nation"));
+        assert!(sql.ends_with("FETCH FIRST 100 ROWS ONLY"));
+    }
+
+    #[test]
+    fn renders_count_star_and_distinct() {
+        let q = QuerySpec {
+            tables: vec![TableRef::plain("item")],
+            aggregates: vec![Aggregate {
+                func: AggFunc::Count,
+                table_alias: "item".into(),
+                column: String::new(),
+            }],
+            distinct: true,
+            ..QuerySpec::default()
+        };
+        let sql = render_sql(&q);
+        assert_eq!(sql, "SELECT DISTINCT COUNT(*) FROM item");
+    }
+
+    #[test]
+    fn renders_in_and_between() {
+        let q = QuerySpec {
+            tables: vec![TableRef::plain("t")],
+            predicates: vec![
+                Predicate {
+                    table_alias: "t".into(),
+                    column: "a".into(),
+                    op: CmpOp::InList(2),
+                    literal: "1, 2".into(),
+                    sel_est: 0.1,
+                    sel_true: 0.1,
+                },
+                Predicate {
+                    table_alias: "t".into(),
+                    column: "b".into(),
+                    op: CmpOp::Between,
+                    literal: "5 AND 10".into(),
+                    sel_est: 0.1,
+                    sel_true: 0.1,
+                },
+            ],
+            ..QuerySpec::default()
+        };
+        let sql = render_sql(&q);
+        assert!(sql.contains("t.a IN (1, 2)"));
+        assert!(sql.contains("t.b BETWEEN 5 AND 10"));
+    }
+
+    #[test]
+    fn select_star_fallback_without_aggregates() {
+        let q = QuerySpec { tables: vec![TableRef::plain("t")], ..QuerySpec::default() };
+        assert_eq!(render_sql(&q), "SELECT t.* FROM t");
+    }
+}

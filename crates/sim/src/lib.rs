@@ -1,0 +1,20 @@
+//! # wmp-sim — working-memory ground truth and the state-of-practice baseline
+//!
+//! The paper measures each query's actual peak working memory on a commercial
+//! DBMS and compares learned predictors against the optimizer's own heuristic
+//! memory estimate. This crate substitutes both:
+//!
+//! - [`executor::ExecutorSimulator`] — a per-operator working-memory model
+//!   with pipeline-phase analysis, driven by **true** cardinalities, producing
+//!   the label `m` for every query (plus deterministic log-normal run noise);
+//! - [`heuristic::DbmsHeuristicEstimator`] — an expert-rule estimator driven
+//!   by **estimated** cardinalities (the paper's SingleWMP-DBMS baseline).
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod heuristic;
+pub mod noise;
+
+pub use executor::{ExecutorSimulator, MemProfile, MemoryConfig, MB};
+pub use heuristic::{DbmsHeuristicEstimator, HeuristicConfig};

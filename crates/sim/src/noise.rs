@@ -1,0 +1,66 @@
+//! Deterministic per-query noise. Real working-memory measurements vary a
+//! little from run to run (allocator granularity, partition counts, timing of
+//! spills); we model that with a multiplicative log-normal factor seeded by
+//! the query id so the whole corpus is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Splitmix64 — a tiny, well-distributed hash used to derive per-query seeds.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Multiplicative log-normal noise factor `exp(N(0, sigma))`, deterministic in
+/// `(seed, query_id)`.
+pub fn lognormal_factor(seed: u64, query_id: u64, sigma: f64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(query_id)));
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_query() {
+        assert_eq!(lognormal_factor(1, 42, 0.1), lognormal_factor(1, 42, 0.1));
+        assert_ne!(lognormal_factor(1, 42, 0.1), lognormal_factor(1, 43, 0.1));
+        assert_ne!(lognormal_factor(2, 42, 0.1), lognormal_factor(1, 42, 0.1));
+    }
+
+    #[test]
+    fn zero_sigma_gives_unit_factor() {
+        assert_eq!(lognormal_factor(7, 9, 0.0), 1.0);
+    }
+
+    #[test]
+    fn factors_center_around_one() {
+        let n = 2000;
+        let mean: f64 =
+            (0..n).map(|i| lognormal_factor(3, i, 0.05)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean factor = {mean}");
+        // All factors positive and bounded for small sigma.
+        for i in 0..n {
+            let f = lognormal_factor(3, i, 0.05);
+            assert!(f > 0.7 && f < 1.4);
+        }
+    }
+
+    #[test]
+    fn splitmix_spreads_bits() {
+        // Adjacent inputs should produce very different outputs.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

@@ -1,0 +1,165 @@
+//! Bag-of-words and schema-aware ("text mining") vectorizers — two of the
+//! alternative template-learning featurizations the paper compares in Fig. 9.
+
+use std::collections::HashMap;
+
+use crate::token::{is_keyword, tokenize};
+
+/// Token-count vectorizer over a learned vocabulary.
+///
+/// - **Bag-of-words mode** keeps the `max_features` most frequent tokens from
+///   the corpus indiscriminately (including literal fragments), reproducing
+///   the paper's "numerous keywords" limitation.
+/// - **Text-mining mode** ([`Vectorizer::text_mining`]) restricts the
+///   vocabulary to database object names and SQL clauses, as §IV-C describes.
+#[derive(Debug, Clone)]
+pub struct Vectorizer {
+    vocab: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl Vectorizer {
+    /// Learns a bag-of-words vocabulary: the `max_features` most frequent
+    /// tokens across the corpus (ties broken alphabetically for determinism).
+    pub fn bag_of_words(corpus: &[String], max_features: usize) -> Self {
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        for sql in corpus {
+            for tok in tokenize(sql) {
+                *freq.entry(tok).or_insert(0) += 1;
+            }
+        }
+        let mut by_freq: Vec<(String, usize)> = freq.into_iter().collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        by_freq.truncate(max_features);
+        let mut names: Vec<String> = by_freq.into_iter().map(|(t, _)| t).collect();
+        names.sort();
+        let vocab = names.iter().cloned().enumerate().map(|(i, t)| (t, i)).collect();
+        Vectorizer { vocab, names }
+    }
+
+    /// Builds a text-mining vocabulary: only tokens that are database object
+    /// names (from the catalog) or SQL keywords; all other tokens (literals,
+    /// aliases) are ignored.
+    pub fn text_mining(identifiers: &[String]) -> Self {
+        let mut names: Vec<String> = identifiers.iter().map(|s| s.to_lowercase()).collect();
+        names.extend(crate::token::SQL_KEYWORDS.iter().map(|s| s.to_string()));
+        names.sort();
+        names.dedup();
+        let vocab = names.iter().cloned().enumerate().map(|(i, t)| (t, i)).collect();
+        Vectorizer { vocab, names }
+    }
+
+    /// Vocabulary size (feature-vector length).
+    pub fn vocab_size(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Vocabulary tokens in feature order.
+    pub fn vocabulary(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Token-count vector of one SQL string (out-of-vocabulary tokens are
+    /// dropped).
+    pub fn vectorize(&self, sql: &str) -> Vec<f64> {
+        let mut v = vec![0.0; self.names.len()];
+        for tok in tokenize(sql) {
+            if let Some(&i) = self.vocab.get(&tok) {
+                v[i] += 1.0;
+            }
+        }
+        v
+    }
+
+    /// Vectorizes a whole corpus.
+    pub fn vectorize_all(&self, corpus: &[String]) -> Vec<Vec<f64>> {
+        corpus.iter().map(|s| self.vectorize(s)).collect()
+    }
+}
+
+/// True when a token would enter a text-mining vocabulary built over the
+/// given identifier list.
+pub fn is_schema_token(identifiers: &[String], token: &str) -> bool {
+    is_keyword(token) || identifiers.iter().any(|i| i.eq_ignore_ascii_case(token))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "SELECT a.x FROM alpha AS a WHERE a.x = 'V1'".to_string(),
+            "SELECT a.x FROM alpha AS a WHERE a.y = 'V2'".to_string(),
+            "SELECT b.z FROM beta AS b GROUP BY b.z".to_string(),
+        ]
+    }
+
+    #[test]
+    fn bag_of_words_keeps_frequent_tokens() {
+        let v = Vectorizer::bag_of_words(&corpus(), 8);
+        assert!(v.vocab_size() <= 8);
+        assert!(v.vocabulary().contains(&"select".to_string()));
+        assert!(v.vocabulary().contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn max_features_caps_vocabulary() {
+        let v = Vectorizer::bag_of_words(&corpus(), 3);
+        assert_eq!(v.vocab_size(), 3);
+    }
+
+    #[test]
+    fn vectorize_counts_tokens() {
+        let v = Vectorizer::bag_of_words(&corpus(), 100);
+        let vec = v.vectorize("SELECT a.x FROM alpha AS a WHERE a.x = 'V1'");
+        let idx = v.vocabulary().iter().position(|t| t == "a").unwrap();
+        assert_eq!(vec[idx], 3.0, "alias `a` appears three times");
+        let x_idx = v.vocabulary().iter().position(|t| t == "x").unwrap();
+        assert_eq!(vec[x_idx], 2.0);
+    }
+
+    #[test]
+    fn out_of_vocabulary_tokens_are_dropped() {
+        let v = Vectorizer::bag_of_words(&corpus(), 100);
+        let vec = v.vectorize("SELECT zzz FROM unknown_table");
+        let known: f64 = vec.iter().sum();
+        // Only `select` and `from` are known.
+        assert_eq!(known, 2.0);
+    }
+
+    #[test]
+    fn text_mining_restricts_to_schema_and_keywords() {
+        let idents = vec!["alpha".to_string(), "x".to_string()];
+        let v = Vectorizer::text_mining(&idents);
+        let vec = v.vectorize("SELECT a.x FROM alpha AS a WHERE a.x = 'V1'");
+        let total: f64 = vec.iter().sum();
+        // select, x, from, alpha, as, where, x = 7 matches; alias `a` and
+        // literal v1 are excluded.
+        assert_eq!(total, 7.0);
+        assert!(!v.vocabulary().contains(&"v1".to_string()));
+    }
+
+    #[test]
+    fn deterministic_vocabulary_order() {
+        let a = Vectorizer::bag_of_words(&corpus(), 10);
+        let b = Vectorizer::bag_of_words(&corpus(), 10);
+        assert_eq!(a.vocabulary(), b.vocabulary());
+    }
+
+    #[test]
+    fn schema_token_check() {
+        let idents = vec!["customer".to_string()];
+        assert!(is_schema_token(&idents, "customer"));
+        assert!(is_schema_token(&idents, "select"));
+        assert!(!is_schema_token(&idents, "random_literal"));
+    }
+
+    #[test]
+    fn vectorize_all_matches_single_calls() {
+        let v = Vectorizer::bag_of_words(&corpus(), 10);
+        let all = v.vectorize_all(&corpus());
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], v.vectorize(&corpus()[0]));
+    }
+}

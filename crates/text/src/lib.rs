@@ -1,0 +1,20 @@
+//! # wmp-text — text featurization of SQL queries
+//!
+//! The paper's Fig. 9 compares the plan-feature template learner against four
+//! text-based alternatives. This crate provides the text side:
+//!
+//! - [`token`] — SQL tokenizer and keyword list;
+//! - [`bow::Vectorizer`] — bag-of-words and schema-aware "text mining"
+//!   count vectorizers;
+//! - [`embed::WordEmbedder`] — count-based word embeddings (windowed
+//!   co-occurrence → PPMI → truncated eigendecomposition), with mean-pooled
+//!   query vectors.
+
+#![warn(missing_docs)]
+
+pub mod bow;
+pub mod embed;
+pub mod token;
+
+pub use bow::Vectorizer;
+pub use embed::{EmbedConfig, WordEmbedder};

@@ -1,0 +1,72 @@
+//! SQL tokenization for the text-based template learners (paper §IV-C).
+
+/// SQL keywords recognized by the text-mining vocabulary builder.
+pub const SQL_KEYWORDS: [&str; 24] = [
+    "select", "distinct", "from", "where", "and", "or", "group", "by", "order", "having",
+    "fetch", "first", "rows", "only", "as", "in", "between", "like", "sum", "count", "avg",
+    "min", "max", "not",
+];
+
+/// Lower-cases and splits SQL text into identifier/keyword/number tokens.
+/// Punctuation and operators separate tokens; quoted literals contribute
+/// their inner word characters (so `'CA'` becomes `ca`), matching how naive
+/// bag-of-words pipelines treat query text.
+pub fn tokenize(sql: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in sql.chars() {
+        if ch.is_alphanumeric() || ch == '_' {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// True when the token is a SQL keyword.
+pub fn is_keyword(token: &str) -> bool {
+    SQL_KEYWORDS.contains(&token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_simple_query() {
+        let t = tokenize("SELECT c.name FROM customer AS c WHERE c.nation = 'CA'");
+        assert_eq!(
+            t,
+            vec!["select", "c", "name", "from", "customer", "as", "c", "where", "c", "nation", "ca"]
+        );
+    }
+
+    #[test]
+    fn underscores_stay_inside_identifiers() {
+        let t = tokenize("ss_sold_date_sk = 42");
+        assert_eq!(t, vec!["ss_sold_date_sk", "42"]);
+    }
+
+    #[test]
+    fn punctuation_separates_tokens() {
+        let t = tokenize("SUM(o.total), COUNT(*)");
+        assert_eq!(t, vec!["sum", "o", "total", "count"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("()=<>,;").is_empty());
+    }
+
+    #[test]
+    fn keyword_detection() {
+        assert!(is_keyword("select"));
+        assert!(is_keyword("between"));
+        assert!(!is_keyword("customer"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The executed-query log (`Q_train` of the paper): every generated query is
+//! planned, featurized, run through the memory simulator (truth label `m`),
+//! and priced by the DBMS heuristic (the SingleWMP-DBMS baseline estimate).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use wmp_plan::error::PlanResult;
+use wmp_plan::features::featurize_plan;
+use wmp_plan::planner::Planner;
+use wmp_plan::query::QuerySpec;
+use wmp_plan::sql::render_sql;
+use wmp_plan::Catalog;
+use wmp_sim::{DbmsHeuristicEstimator, ExecutorSimulator};
+
+/// One executed query: the paper's `q = (e, p, m)` plus the baseline estimate.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Stable query id within the log.
+    pub id: u64,
+    /// Logical spec (renders to `e` via [`render_sql`]).
+    pub spec: QuerySpec,
+    /// Plan features: `(count, Σ est. cardinality)` per operator kind.
+    pub features: Vec<f64>,
+    /// Actual peak working memory in MB — the label `m`.
+    pub true_memory_mb: f64,
+    /// The optimizer heuristic's memory estimate in MB (SingleWMP-DBMS).
+    pub dbms_estimate_mb: f64,
+    /// The generator's template id (diagnostics only; models never see it).
+    pub template_hint: usize,
+}
+
+impl QueryRecord {
+    /// SQL text of the query.
+    pub fn sql(&self) -> String {
+        render_sql(&self.spec)
+    }
+}
+
+/// A benchmark's generated query log plus its catalog.
+#[derive(Debug, Clone)]
+pub struct QueryLog {
+    /// Benchmark name ("tpcds", "job", "tpcc").
+    pub benchmark: String,
+    /// The catalog queries run against.
+    pub catalog: Catalog,
+    /// Executed queries.
+    pub records: Vec<QueryRecord>,
+}
+
+impl QueryLog {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Shuffled train/test split by fraction (the paper uses 80/20).
+    pub fn train_test_split(&self, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let mut idx: Vec<usize> = (0..self.records.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_train = ((self.records.len() as f64) * train_frac).round() as usize;
+        let n_train = n_train.min(self.records.len());
+        let test = idx.split_off(n_train);
+        (idx, test)
+    }
+
+    /// Mean true memory (MB) across the log — useful to sanity-check scale.
+    pub fn mean_true_memory_mb(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.true_memory_mb).sum::<f64>() / self.records.len() as f64
+    }
+}
+
+/// Plans, simulates, and featurizes one query spec into a [`QueryRecord`].
+///
+/// # Errors
+/// Propagates planning errors (unknown tables/columns/aliases).
+pub fn build_record(
+    catalog: &Catalog,
+    planner: &Planner<'_>,
+    simulator: &ExecutorSimulator,
+    heuristic: &DbmsHeuristicEstimator,
+    spec: QuerySpec,
+    template_hint: usize,
+) -> PlanResult<QueryRecord> {
+    let plan = planner.plan(&spec)?;
+    let features = featurize_plan(&plan);
+    let true_memory_mb = simulator.peak_memory_mb(&plan, spec.id);
+    let dbms_estimate_mb = heuristic.estimate_mb(&plan);
+    let _ = catalog; // catalog is implicit in the planner; kept for signature clarity
+    Ok(QueryRecord {
+        id: spec.id,
+        spec,
+        features,
+        true_memory_mb,
+        dbms_estimate_mb,
+        template_hint,
+    })
+}
+
+/// Builds a full log from specs (convenience wrapper over [`build_record`]).
+///
+/// # Errors
+/// Propagates planning errors.
+pub fn build_log(
+    benchmark: &str,
+    catalog: Catalog,
+    specs: Vec<(QuerySpec, usize)>,
+) -> PlanResult<QueryLog> {
+    build_log_with(benchmark, catalog, specs, wmp_plan::PlannerConfig::default())
+}
+
+/// [`build_log`] with explicit planner tunables (used by the
+/// `ablation_planner` experiment to compare greedy vs. FROM-order joins).
+///
+/// # Errors
+/// Propagates planning errors.
+pub fn build_log_with(
+    benchmark: &str,
+    catalog: Catalog,
+    specs: Vec<(QuerySpec, usize)>,
+    planner_config: wmp_plan::PlannerConfig,
+) -> PlanResult<QueryLog> {
+    let planner = Planner::with_config(&catalog, planner_config);
+    let simulator = ExecutorSimulator::new();
+    let heuristic = DbmsHeuristicEstimator::new();
+    let mut records = Vec::with_capacity(specs.len());
+    for (spec, hint) in specs {
+        records.push(build_record(&catalog, &planner, &simulator, &heuristic, spec, hint)?);
+    }
+    Ok(QueryLog { benchmark: benchmark.to_string(), catalog, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmp_plan::query::TableRef;
+    use wmp_plan::schema::{Column, ColumnType, Table};
+
+    fn tiny_log(n: usize) -> QueryLog {
+        let mut catalog = Catalog::new();
+        catalog.add_table(Table::new(
+            "t",
+            10_000,
+            vec![Column::new("a", ColumnType::Int, 100), Column::new("b", ColumnType::Int, 10)],
+        ));
+        let specs: Vec<(QuerySpec, usize)> = (0..n)
+            .map(|i| {
+                (
+                    QuerySpec {
+                        id: i as u64,
+                        tables: vec![TableRef::plain("t")],
+                        order_by: vec![("t".into(), "a".into())],
+                        ..QuerySpec::default()
+                    },
+                    i % 3,
+                )
+            })
+            .collect();
+        build_log("toy", catalog, specs).unwrap()
+    }
+
+    #[test]
+    fn build_log_produces_complete_records() {
+        let log = tiny_log(5);
+        assert_eq!(log.len(), 5);
+        assert!(!log.is_empty());
+        for r in &log.records {
+            assert_eq!(r.features.len(), wmp_plan::features::N_PLAN_FEATURES);
+            assert!(r.true_memory_mb > 0.0);
+            assert!(r.dbms_estimate_mb > 0.0);
+            assert!(r.sql().starts_with("SELECT"));
+        }
+        assert!(log.mean_true_memory_mb() > 0.0);
+    }
+
+    #[test]
+    fn split_covers_everything_once() {
+        let log = tiny_log(10);
+        let (train, test) = log.train_test_split(0.8, 42);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let log = tiny_log(20);
+        assert_eq!(log.train_test_split(0.8, 1), log.train_test_split(0.8, 1));
+        assert_ne!(log.train_test_split(0.8, 1).0, log.train_test_split(0.8, 2).0);
+    }
+
+    #[test]
+    fn extreme_fractions_are_safe() {
+        let log = tiny_log(4);
+        let (train, test) = log.train_test_split(1.0, 0);
+        assert_eq!(train.len(), 4);
+        assert!(test.is_empty());
+        let (train, test) = log.train_test_split(0.0, 0);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 4);
+    }
+
+    #[test]
+    fn empty_log_mean_is_zero() {
+        let log = tiny_log(0);
+        assert_eq!(log.mean_true_memory_mb(), 0.0);
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Admission control (the paper's §I motivation): before a batch of queries
+//! is admitted for concurrent execution, the DBMS must decide whether its
+//! collective working memory fits the budget. Under-estimation admits batches
+//! that overflow (spills, thrashing, failures); over-estimation leaves
+//! capacity idle.
+//!
+//! The example replays unseen JOB-style batches through an admission gate
+//! driven by (a) the DBMS heuristic and (b) LearnedWMP, counting both error
+//! types against the ground truth.
+//!
+//! ```sh
+//! cargo run --release --example admission_control
+//! ```
+
+use learnedwmp::core::{
+    batch_workloads, LabelMode, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
+    SingleWmpDbms,
+};
+use learnedwmp::workloads::QueryRecord;
+
+/// Outcome counts for one admission policy.
+#[derive(Default)]
+struct Tally {
+    admitted_ok: usize,
+    admitted_overflow: usize, // admitted but actually over budget (the bad one)
+    rejected_wasteful: usize, // rejected although it would have fit
+    rejected_ok: usize,
+}
+
+fn main() {
+    println!("Generating a JOB-style history (2,300 queries)...");
+    let log = learnedwmp::workloads::job::generate(2_300, 2).expect("generation");
+    let (train_idx, test_idx) = log.train_test_split(0.8, 42);
+    let train: Vec<&QueryRecord> = train_idx.iter().map(|&i| &log.records[i]).collect();
+    let incoming: Vec<&QueryRecord> = test_idx.iter().map(|&i| &log.records[i]).collect();
+
+    let model = LearnedWmp::train(
+        LearnedWmpConfig { model: ModelKind::Rf, ..Default::default() },
+        Box::new(PlanKMeansTemplates::new(40, 42)),
+        &train,
+        &log.catalog,
+    )
+    .expect("training");
+
+    // Budget: the median actual batch demand — a deliberately tight system.
+    let batches = batch_workloads(&incoming, 10, 5, LabelMode::Sum);
+    let mut actuals: Vec<f64> = batches.iter().map(|w| w.y).collect();
+    actuals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let budget = actuals[actuals.len() / 2] * 1.5;
+    println!("Working-memory budget per batch: {budget:.0} MB ({} incoming batches)\n", batches.len());
+
+    let mut learned_tally = Tally::default();
+    let mut heuristic_tally = Tally::default();
+    for w in &batches {
+        let qs: Vec<&QueryRecord> = w.query_indices.iter().map(|&i| incoming[i]).collect();
+        let fits = w.y <= budget;
+        for (pred, tally) in [
+            (model.predict_workload(&qs).expect("prediction"), &mut learned_tally),
+            (SingleWmpDbms.predict_workload(&qs), &mut heuristic_tally),
+        ] {
+            let admit = pred <= budget;
+            match (admit, fits) {
+                (true, true) => tally.admitted_ok += 1,
+                (true, false) => tally.admitted_overflow += 1,
+                (false, true) => tally.rejected_wasteful += 1,
+                (false, false) => tally.rejected_ok += 1,
+            }
+        }
+    }
+
+    let report = |name: &str, t: &Tally| {
+        let total = t.admitted_ok + t.admitted_overflow + t.rejected_wasteful + t.rejected_ok;
+        let wrong = t.admitted_overflow + t.rejected_wasteful;
+        println!("{name}:");
+        println!("  admitted & fit            : {:>3}", t.admitted_ok);
+        println!("  admitted but OVERFLOWED   : {:>3}   <- memory pressure / failures", t.admitted_overflow);
+        println!("  rejected although it fit  : {:>3}   <- wasted capacity", t.rejected_wasteful);
+        println!("  rejected & would overflow : {:>3}", t.rejected_ok);
+        println!("  wrong decisions           : {:>3}/{total}\n", wrong);
+    };
+    report("LearnedWMP-RF admission gate", &learned_tally);
+    report("DBMS-heuristic admission gate", &heuristic_tally);
+
+    let l_wrong = learned_tally.admitted_overflow + learned_tally.rejected_wasteful;
+    let h_wrong = heuristic_tally.admitted_overflow + heuristic_tally.rejected_wasteful;
+    println!("-> LearnedWMP makes {l_wrong} wrong admission decisions vs the heuristic's {h_wrong}.");
+}

@@ -1,0 +1,80 @@
+//! Quickstart: train a LearnedWMP model on an executed-query log and predict
+//! the working-memory demand of an unseen workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use learnedwmp::core::{
+    batch_workloads, LabelMode, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
+    SingleWmpDbms,
+};
+use learnedwmp::workloads::QueryRecord;
+
+fn main() {
+    // 1. An executed-query log. In a deployment this comes from the DBMS
+    //    query log (statement + final plan + measured peak working memory);
+    //    here the TPC-DS-style generator plays that role.
+    println!("Generating a TPC-DS-style query log (9,900 queries)...");
+    let log = learnedwmp::workloads::tpcds::generate(9_900, 1).expect("generation");
+    let (train_idx, test_idx) = log.train_test_split(0.8, 42);
+    let train: Vec<&QueryRecord> = train_idx.iter().map(|&i| &log.records[i]).collect();
+    let test: Vec<&QueryRecord> = test_idx.iter().map(|&i| &log.records[i]).collect();
+    println!("  {} training queries, {} test queries", train.len(), test.len());
+    println!("  mean per-query peak memory: {:.1} MB", log.mean_true_memory_mb());
+
+    // 2. Train: k-means templates over plan features (TR3), histogram
+    //    construction (TR4-TR5), XGBoost-style distribution regressor (TR6).
+    println!("\nTraining LearnedWMP-XGB with k = 100 templates, batch size s = 10...");
+    let model = LearnedWmp::train(
+        LearnedWmpConfig { model: ModelKind::Xgb, ..Default::default() },
+        Box::new(PlanKMeansTemplates::new(100, 42)),
+        &train,
+        &log.catalog,
+    )
+    .expect("training");
+    println!(
+        "  templates learned in {:.0} ms, histograms in {:.0} ms, regressor fit in {:.0} ms",
+        model.timings.template_ms, model.timings.histogram_ms, model.timings.fit_ms
+    );
+    println!("  model size: {:.1} kB", model.footprint_bytes() as f64 / 1024.0);
+
+    // 3. Predict unseen workloads and compare against the actual collective
+    //    memory and the DBMS optimizer's heuristic estimate.
+    let workloads = batch_workloads(&test, 10, 7, LabelMode::Sum);
+    let dbms = SingleWmpDbms;
+    println!("\nFirst five unseen workloads (10 queries each):");
+    println!("  {:>10} {:>12} {:>12} {:>12}", "workload", "actual MB", "LearnedWMP", "DBMS est.");
+    for (i, w) in workloads.iter().take(5).enumerate() {
+        let queries: Vec<&QueryRecord> = w.query_indices.iter().map(|&j| test[j]).collect();
+        let pred = model.predict_workload(&queries).expect("prediction");
+        let heur = dbms.predict_workload(&queries);
+        println!("  {:>10} {:>12.1} {:>12.1} {:>12.1}", i, w.y, pred, heur);
+    }
+
+    // 4. Aggregate accuracy over all unseen workloads.
+    let y: Vec<f64> = workloads.iter().map(|w| w.y).collect();
+    let preds: Vec<f64> = workloads
+        .iter()
+        .map(|w| {
+            let queries: Vec<&QueryRecord> = w.query_indices.iter().map(|&j| test[j]).collect();
+            model.predict_workload(&queries).expect("prediction")
+        })
+        .collect();
+    let heur: Vec<f64> = workloads
+        .iter()
+        .map(|w| {
+            let queries: Vec<&QueryRecord> = w.query_indices.iter().map(|&j| test[j]).collect();
+            dbms.predict_workload(&queries)
+        })
+        .collect();
+    let rmse_model = learnedwmp::mlkit::metrics::rmse(&y, &preds).expect("rmse");
+    let rmse_dbms = learnedwmp::mlkit::metrics::rmse(&y, &heur).expect("rmse");
+    println!("\nRMSE over {} unseen workloads:", workloads.len());
+    println!("  LearnedWMP-XGB : {rmse_model:>8.1} MB");
+    println!("  DBMS heuristic : {rmse_dbms:>8.1} MB");
+    println!(
+        "  -> LearnedWMP reduces workload memory estimation error by {:.1}%",
+        (1.0 - rmse_model / rmse_dbms) * 100.0
+    );
+}

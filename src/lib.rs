@@ -1,0 +1,49 @@
+//! # learnedwmp — workload memory prediction using distributions of query templates
+//!
+//! A from-scratch Rust reproduction of *"LearnedWMP: Workload Memory
+//! Prediction Using Distribution of Query Templates"* (EDBT 2026,
+//! arXiv:2401.12103): predict the working-memory demand of a **batch of SQL
+//! queries** from the histogram of its queries over learned query templates,
+//! rather than summing per-query estimates.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] ([`learnedwmp_core`]) | LearnedWMP + SingleWMP pipelines, templates, histograms, evaluation |
+//! | [`mlkit`] ([`wmp_mlkit`]) | from-scratch ML: k-means, DBSCAN, Ridge, CART, Random Forest, GBDT, MLP |
+//! | [`plan`] ([`wmp_plan`]) | schema/catalog, cardinality estimation, physical planner, plan features |
+//! | [`sim`] ([`wmp_sim`]) | executor memory simulator (ground truth) + DBMS heuristic baseline |
+//! | [`workloads`] ([`wmp_workloads`]) | TPC-DS / JOB / TPC-C style generators and query logs |
+//! | [`text`] ([`wmp_text`]) | SQL tokenization, bag-of-words, text-mining, word embeddings |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use learnedwmp::core::{LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates};
+//!
+//! // 1. Generate an executed-query log (here: a small TPC-C-style corpus).
+//! let log = learnedwmp::workloads::tpcc::generate(400, 7).unwrap();
+//! let train: Vec<_> = log.records.iter().collect();
+//!
+//! // 2. Train LearnedWMP: templates via k-means over plan features, then a
+//! //    distribution regressor over workload histograms.
+//! let model = LearnedWmp::train(
+//!     LearnedWmpConfig { model: ModelKind::Xgb, ..Default::default() },
+//!     Box::new(PlanKMeansTemplates::new(8, 42)),
+//!     &train,
+//!     &log.catalog,
+//! )
+//! .unwrap();
+//!
+//! // 3. Predict the collective memory demand of a 10-query workload.
+//! let predicted_mb = model.predict_workload(&train[..10]).unwrap();
+//! assert!(predicted_mb > 0.0);
+//! ```
+
+pub use learnedwmp_core as core;
+pub use wmp_mlkit as mlkit;
+pub use wmp_plan as plan;
+pub use wmp_sim as sim;
+pub use wmp_text as text;
+pub use wmp_workloads as workloads;
