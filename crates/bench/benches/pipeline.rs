@@ -21,9 +21,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let sim = ExecutorSimulator::new();
     let heur = DbmsHeuristicEstimator::new();
 
-    c.bench_function("planner_plan_star_query", |b| {
-        b.iter(|| planner.plan(&spec).expect("plan"))
-    });
+    c.bench_function("planner_plan_star_query", |b| b.iter(|| planner.plan(&spec).expect("plan")));
     c.bench_function("featurize_plan", |b| b.iter(|| featurize_plan(&plan)));
     c.bench_function("executor_simulate_memory", |b| b.iter(|| sim.peak_memory_mb(&plan, 1)));
     c.bench_function("dbms_heuristic_estimate", |b| b.iter(|| heur.estimate_mb(&plan)));

@@ -76,13 +76,28 @@ fn main() {
     };
 
     // 1. Label mode.
-    push("label=sum (paper prose)", eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()));
-    push("label=max (paper eq. 1)", eval_learned_with(log, &cfg, LabelMode::Max, HistogramMode::Counts, km()));
+    push(
+        "label=sum (paper prose)",
+        eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()),
+    );
+    push(
+        "label=max (paper eq. 1)",
+        eval_learned_with(log, &cfg, LabelMode::Max, HistogramMode::Counts, km()),
+    );
     // 2. Histogram normalization.
-    push("hist=counts (paper)", eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()));
-    push("hist=frequencies", eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Frequencies, km()));
+    push(
+        "hist=counts (paper)",
+        eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()),
+    );
+    push(
+        "hist=frequencies",
+        eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Frequencies, km()),
+    );
     // 3. Clustering algorithm.
-    push("cluster=kmeans (paper)", eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()));
+    push(
+        "cluster=kmeans (paper)",
+        eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()),
+    );
     push(
         "cluster=dbscan (SV comparison)",
         eval_learned_with(
@@ -96,9 +111,18 @@ fn main() {
     // 4. Feature set.
     let counts_only = mask_features(log, true);
     let cards_only = mask_features(log, false);
-    push("features=count+card (paper)", eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()));
-    push("features=counts only", eval_learned_with(&counts_only, &cfg, LabelMode::Sum, HistogramMode::Counts, km()));
-    push("features=cards only", eval_learned_with(&cards_only, &cfg, LabelMode::Sum, HistogramMode::Counts, km()));
+    push(
+        "features=count+card (paper)",
+        eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()),
+    );
+    push(
+        "features=counts only",
+        eval_learned_with(&counts_only, &cfg, LabelMode::Sum, HistogramMode::Counts, km()),
+    );
+    push(
+        "features=cards only",
+        eval_learned_with(&cards_only, &cfg, LabelMode::Sum, HistogramMode::Counts, km()),
+    );
     // 5. Planner realism: regenerate the same logical corpus without greedy
     // join ordering (FROM-order, left-deep).
     let fixed_order = wmp_workloads::tpcds::generate_with_planner(
@@ -107,8 +131,14 @@ fn main() {
         wmp_plan::PlannerConfig { greedy_join_ordering: false, ..Default::default() },
     )
     .expect("fixed-order generation");
-    push("planner=greedy (default)", eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()));
-    push("planner=from-order", eval_learned_with(&fixed_order, &cfg, LabelMode::Sum, HistogramMode::Counts, km()));
+    push(
+        "planner=greedy (default)",
+        eval_learned_with(log, &cfg, LabelMode::Sum, HistogramMode::Counts, km()),
+    );
+    push(
+        "planner=from-order",
+        eval_learned_with(&fixed_order, &cfg, LabelMode::Sum, HistogramMode::Counts, km()),
+    );
 
     println!("\nAblations (LearnedWMP-XGB on TPC-DS)");
     print_table(&["configuration", "rmse", "mape%"], &rows);

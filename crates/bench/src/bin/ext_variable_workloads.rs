@@ -5,8 +5,8 @@
 //! fixed-s=10 pipeline and against auto-selected k (elbow method).
 
 use learnedwmp_core::{
-    batch_workloads_variable, EvalContext, LabelMode, LearnedWmp, LearnedWmpConfig,
-    ModelKind, PlanKMeansTemplates,
+    batch_workloads_variable, EvalContext, LabelMode, LearnedWmp, LearnedWmpConfig, ModelKind,
+    PlanKMeansTemplates,
 };
 use wmp_bench::{print_table, Benchmarks, Options};
 use wmp_mlkit::metrics::{mape, rmse};
@@ -14,11 +14,8 @@ use wmp_mlkit::metrics::{mape, rmse};
 fn main() {
     let opts = Options::from_args();
     let benches = Benchmarks::generate(opts.experiment_config());
-    let (name, log, cfg) = benches
-        .datasets()
-        .into_iter()
-        .find(|(n, _, _)| *n == "TPC-DS")
-        .expect("TPC-DS dataset");
+    let (name, log, cfg) =
+        benches.datasets().into_iter().find(|(n, _, _)| *n == "TPC-DS").expect("TPC-DS dataset");
     let ctx = EvalContext::new(log, cfg.clone());
 
     // Variable-size test batches shared by both models.
@@ -27,7 +24,12 @@ fn main() {
 
     // Fixed-length training (the paper's design).
     let fixed = LearnedWmp::train(
-        LearnedWmpConfig { model: ModelKind::Xgb, batch_size: cfg.batch_size, seed: cfg.seed, ..Default::default() },
+        LearnedWmpConfig {
+            model: ModelKind::Xgb,
+            batch_size: cfg.batch_size,
+            seed: cfg.seed,
+            ..Default::default()
+        },
         Box::new(PlanKMeansTemplates::new(cfg.k_templates, cfg.seed)),
         &ctx.train,
         &log.catalog,
@@ -37,7 +39,12 @@ fn main() {
     // Variable-length training (the extension).
     let train_ws = batch_workloads_variable(&ctx.train, 5, 15, cfg.seed, LabelMode::Sum);
     let variable = LearnedWmp::train_with_workloads(
-        LearnedWmpConfig { model: ModelKind::Xgb, batch_size: cfg.batch_size, seed: cfg.seed, ..Default::default() },
+        LearnedWmpConfig {
+            model: ModelKind::Xgb,
+            batch_size: cfg.batch_size,
+            seed: cfg.seed,
+            ..Default::default()
+        },
         Box::new(PlanKMeansTemplates::new(cfg.k_templates, cfg.seed)),
         &ctx.train,
         &log.catalog,
@@ -46,14 +53,15 @@ fn main() {
     .expect("variable training");
 
     // Elbow-selected k as a third point.
-    let auto_k = PlanKMeansTemplates::auto_k(
-        &ctx.train,
-        &[10, 20, 40, 60, 80, 100],
-        cfg.seed,
-    )
-    .expect("auto k");
+    let auto_k = PlanKMeansTemplates::auto_k(&ctx.train, &[10, 20, 40, 60, 80, 100], cfg.seed)
+        .expect("auto k");
     let auto = LearnedWmp::train_with_workloads(
-        LearnedWmpConfig { model: ModelKind::Xgb, batch_size: cfg.batch_size, seed: cfg.seed, ..Default::default() },
+        LearnedWmpConfig {
+            model: ModelKind::Xgb,
+            batch_size: cfg.batch_size,
+            seed: cfg.seed,
+            ..Default::default()
+        },
         Box::new(PlanKMeansTemplates::new(auto_k, cfg.seed)),
         &ctx.train,
         &log.catalog,

@@ -9,11 +9,8 @@ use wmp_bench::{print_table, Benchmarks, Options};
 fn main() {
     let opts = Options::from_args();
     let benches = Benchmarks::generate(opts.experiment_config());
-    let (name, log, cfg) = benches
-        .datasets()
-        .into_iter()
-        .find(|(n, _, _)| *n == "TPC-DS")
-        .expect("TPC-DS dataset");
+    let (name, log, cfg) =
+        benches.datasets().into_iter().find(|(n, _, _)| *n == "TPC-DS").expect("TPC-DS dataset");
     println!("\nFig. 11 ({name}): MAPE (%) of LearnedWMP-XGB vs batch size s");
     let mut rows = Vec::new();
     for s in [1usize, 2, 3, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50] {

@@ -11,10 +11,8 @@ fn main() {
         let ctx = EvalContext::new(log, cfg);
         let reports = ctx.evaluate_all(&ModelKind::ALL).expect("evaluation");
         println!("\nFig. 4 ({name}): Root Mean Squared Error (MB, smaller is better)");
-        let rows: Vec<Vec<String>> = reports
-            .iter()
-            .map(|r| vec![r.tag(), format!("{:.1}", r.rmse)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            reports.iter().map(|r| vec![r.tag(), format!("{:.1}", r.rmse)]).collect();
         print_table(&["model", "rmse"], &rows);
         let dbms = reports.iter().find(|r| r.approach == "SingleWMP-DBMS").expect("baseline");
         let best = reports

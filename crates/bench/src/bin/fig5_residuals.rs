@@ -29,9 +29,6 @@ fn main() {
                 ]
             })
             .collect();
-        print_table(
-            &["model", "min", "q1", "median", "q3", "max", "iqr", "mean", "skew"],
-            &rows,
-        );
+        print_table(&["model", "min", "q1", "median", "q3", "max", "iqr", "mean", "skew"], &rows);
     }
 }

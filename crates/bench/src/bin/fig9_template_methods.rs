@@ -13,11 +13,8 @@ use wmp_mlkit::metrics::{mape, rmse};
 fn main() {
     let opts = Options::from_args();
     let benches = Benchmarks::generate(opts.experiment_config());
-    let (name, log, cfg) = benches
-        .datasets()
-        .into_iter()
-        .find(|(n, _, _)| *n == "JOB")
-        .expect("JOB dataset");
+    let (name, log, cfg) =
+        benches.datasets().into_iter().find(|(n, _, _)| *n == "JOB").expect("JOB dataset");
     let k = cfg.k_templates;
     let seed = cfg.seed;
     let ctx = EvalContext::new(log, cfg.clone());

@@ -148,8 +148,7 @@ impl<'a> EvalContext<'a> {
         let dbms = SingleWmpDbms;
         let t0 = Instant::now();
         let preds = dbms.predict_workloads(&self.test, &self.test_workloads);
-        let infer_us =
-            t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
+        let infer_us = t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
         report_from_predictions(
             "SingleWMP-DBMS",
             "heuristic".to_string(),
@@ -183,8 +182,7 @@ impl<'a> EvalContext<'a> {
         )?;
         let t0 = Instant::now();
         let preds = wmp.predict_workloads(&self.test, &self.test_workloads)?;
-        let infer_us =
-            t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
+        let infer_us = t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
         report_from_predictions(
             "LearnedWMP",
             model.label().to_string(),
@@ -205,8 +203,7 @@ impl<'a> EvalContext<'a> {
         let m = SingleWmp::train(model, &self.train)?;
         let t0 = Instant::now();
         let preds = m.predict_workloads(&self.test, &self.test_workloads)?;
-        let infer_us =
-            t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
+        let infer_us = t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
         report_from_predictions(
             "SingleWMP",
             m.model().label().to_string(),

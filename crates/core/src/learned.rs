@@ -125,8 +125,7 @@ impl LearnedWmp {
         let rows: Vec<Vec<f64>> = workloads
             .iter()
             .map(|w| {
-                let member: Vec<usize> =
-                    w.query_indices.iter().map(|&i| assignments[i]).collect();
+                let member: Vec<usize> = w.query_indices.iter().map(|&i| assignments[i]).collect();
                 build_histogram(&member, k, config.histogram_mode)
             })
             .collect();
@@ -156,7 +155,8 @@ impl LearnedWmp {
     pub fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
         let assignments: Vec<usize> =
             queries.iter().map(|r| self.templates.assign(r)).collect::<MlResult<_>>()?;
-        let h = build_histogram(&assignments, self.templates.n_templates(), self.config.histogram_mode);
+        let h =
+            build_histogram(&assignments, self.templates.n_templates(), self.config.histogram_mode);
         self.regressor.predict_row(&h)
     }
 

@@ -148,10 +148,9 @@ mod tests {
 
     #[test]
     fn all_kinds_build_and_fit() {
-        let x = Matrix::from_rows(
-            &(0..40).map(|i| vec![i as f64, (i % 5) as f64]).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let x =
+            Matrix::from_rows(&(0..40).map(|i| vec![i as f64, (i % 5) as f64]).collect::<Vec<_>>())
+                .unwrap();
         let y: Vec<f64> = (0..40).map(|i| (i * 2) as f64).collect();
         for kind in ModelKind::ALL {
             for approach in [Approach::Learned, Approach::Single] {
@@ -173,8 +172,8 @@ mod tests {
     #[test]
     fn single_dnn_has_more_capacity_than_learned_dnn() {
         // Train both briefly and compare parameter counts (Fig. 8's driver).
-        let x = Matrix::from_rows(&(0..30).map(|i| vec![i as f64; 20]).collect::<Vec<_>>())
-            .unwrap();
+        let x =
+            Matrix::from_rows(&(0..30).map(|i| vec![i as f64; 20]).collect::<Vec<_>>()).unwrap();
         let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let mut learned = ModelKind::Dnn.build(Approach::Learned, 30);
         let mut single = ModelKind::Dnn.build(Approach::Single, 30);

@@ -43,7 +43,14 @@ impl OnlineWmp {
     /// Creates an untrained online model; it starts predicting after the
     /// first `retrain_every` observations (or an explicit [`OnlineWmp::retrain`]).
     pub fn new(config: LearnedWmpConfig, policy: OnlinePolicy) -> Self {
-        OnlineWmp { config, policy, buffer: Vec::new(), since_train: 0, model: None, retrain_count: 0 }
+        OnlineWmp {
+            config,
+            policy,
+            buffer: Vec::new(),
+            since_train: 0,
+            model: None,
+            retrain_count: 0,
+        }
     }
 
     /// Ingests one executed query (the DBMS query-log hook). Returns `true`
@@ -165,7 +172,10 @@ mod tests {
             for i in 0..n {
                 let mut rng = StdRng::seed_from_u64(base ^ i as u64);
                 let t = templates.start + i % (templates.end - templates.start);
-                specs.push((wmp_workloads::tpcc::instantiate(&cat, t, base + i as u64, &mut rng), t));
+                specs.push((
+                    wmp_workloads::tpcc::instantiate(&cat, t, base + i as u64, &mut rng),
+                    t,
+                ));
             }
             wmp_workloads::build_log("tpcc-drift", cat.clone(), specs).unwrap()
         };
@@ -180,18 +190,13 @@ mod tests {
         // Evaluate the stale model on phase-2 workloads.
         let eval = |m: &OnlineWmp, log: &wmp_workloads::QueryLog| {
             let refs: Vec<&QueryRecord> = log.records.iter().collect();
-            let ws = crate::workload::batch_workloads(
-                &refs,
-                10,
-                7,
-                crate::workload::LabelMode::Sum,
-            );
+            let ws =
+                crate::workload::batch_workloads(&refs, 10, 7, crate::workload::LabelMode::Sum);
             let y: Vec<f64> = ws.iter().map(|w| w.y).collect();
             let preds: Vec<f64> = ws
                 .iter()
                 .map(|w| {
-                    let qs: Vec<&QueryRecord> =
-                        w.query_indices.iter().map(|&i| refs[i]).collect();
+                    let qs: Vec<&QueryRecord> = w.query_indices.iter().map(|&i| refs[i]).collect();
                     m.predict_workload(&qs).unwrap()
                 })
                 .collect();

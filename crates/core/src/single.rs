@@ -129,8 +129,7 @@ mod tests {
         assert_eq!(m.n_train_queries, 500);
         assert!(m.fit_ms > 0.0);
         let w: f64 = m.predict_workload(&refs[..10]).unwrap();
-        let parts: f64 =
-            refs[..10].iter().map(|r| m.predict_query(r).unwrap()).sum();
+        let parts: f64 = refs[..10].iter().map(|r| m.predict_query(r).unwrap()).sum();
         assert!((w - parts).abs() < 1e-9, "workload prediction is the sum of queries");
     }
 
@@ -139,8 +138,7 @@ mod tests {
         let log = log();
         let refs: Vec<&QueryRecord> = log.records.iter().collect();
         let m = SingleWmp::train(ModelKind::Rf, &refs).unwrap();
-        let preds: Vec<f64> =
-            refs.iter().map(|r| m.predict_query(r).unwrap()).collect();
+        let preds: Vec<f64> = refs.iter().map(|r| m.predict_query(r).unwrap()).collect();
         let y: Vec<f64> = refs.iter().map(|r| r.true_memory_mb).collect();
         let r2 = wmp_mlkit::metrics::r2(&y, &preds).unwrap();
         assert!(r2 > 0.7, "in-sample r2 = {r2}");

@@ -329,8 +329,7 @@ impl TemplateLearner for DbscanTemplates {
         }
         // DBSCAN is O(n²); cap the fitted sample harder than k-means.
         let rows = {
-            let mut rows: Vec<Vec<f64>> =
-                records.iter().map(|r| r.features.clone()).collect();
+            let mut rows: Vec<Vec<f64>> = records.iter().map(|r| r.features.clone()).collect();
             if rows.len() > 3_000 {
                 let stride = rows.len().div_ceil(3_000);
                 rows = rows.into_iter().step_by(stride).collect();

@@ -101,11 +101,7 @@ mod tests {
     fn record(id: u64, mem: f64) -> QueryRecord {
         QueryRecord {
             id,
-            spec: QuerySpec {
-                id,
-                tables: vec![TableRef::plain("t")],
-                ..QuerySpec::default()
-            },
+            spec: QuerySpec { id, tables: vec![TableRef::plain("t")], ..QuerySpec::default() },
             features: vec![0.0; 4],
             true_memory_mb: mem,
             dbms_estimate_mb: mem * 1.1,
@@ -193,8 +189,7 @@ mod tests {
             for &i in &w.query_indices {
                 assert!(seen.insert(i), "no index may repeat");
             }
-            let expect: f64 =
-                w.query_indices.iter().map(|&i| refs[i].true_memory_mb).sum();
+            let expect: f64 = w.query_indices.iter().map(|&i| refs[i].true_memory_mb).sum();
             assert!((w.y - expect).abs() < 1e-12);
         }
         // Sizes actually vary.

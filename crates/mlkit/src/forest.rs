@@ -129,7 +129,8 @@ impl Regressor for RandomForest {
                 scope.spawn(move || {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         let tree_idx = first_tree + off;
-                        let tree_seed = seed.wrapping_add(tree_idx as u64).wrapping_mul(0x9E37_79B9);
+                        let tree_seed =
+                            seed.wrapping_add(tree_idx as u64).wrapping_mul(0x9E37_79B9);
                         let mut rng = StdRng::seed_from_u64(tree_seed);
                         // Bootstrap sample (with replacement).
                         let mut rows: Vec<u32> =
@@ -172,9 +173,8 @@ mod tests {
 
     fn friedman_like(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..4).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..4).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>()).collect();
         let y: Vec<f64> = rows
             .iter()
             .map(|r| 10.0 * r[0] * r[1] + 5.0 * r[2] - 3.0 * r[3] + rng.gen::<f64>() * 0.1)

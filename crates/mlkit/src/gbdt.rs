@@ -165,12 +165,8 @@ impl Regressor for GradientBoosting {
             }
             self.trees.push(tree);
             if c.tol > 0.0 {
-                let mse = y
-                    .iter()
-                    .zip(&pred)
-                    .map(|(t, p)| (t - p) * (t - p))
-                    .sum::<f64>()
-                    / n as f64;
+                let mse =
+                    y.iter().zip(&pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>() / n as f64;
                 let cur = mse.sqrt();
                 if prev_rmse - cur < c.tol {
                     break;

@@ -131,11 +131,8 @@ fn node_score(sum: f64, count: f64, lambda: f64) -> f64 {
 
 impl<'a> Grower<'a> {
     fn leaf(&mut self, count: f64, sum: f64) -> u32 {
-        let value = if count + self.params.lambda > 0.0 {
-            sum / (count + self.params.lambda)
-        } else {
-            0.0
-        };
+        let value =
+            if count + self.params.lambda > 0.0 { sum / (count + self.params.lambda) } else { 0.0 };
         self.nodes.push(TreeNode::Leaf { value });
         (self.nodes.len() - 1) as u32
     }
@@ -148,21 +145,62 @@ impl<'a> Grower<'a> {
         }
 
         // Feature subset for this node (Random Forest style) or all features.
-        let feats: Vec<usize> = match self.params.feature_subsample {
+        // Like scikit-learn, the search does not stop at `mtry` features if
+        // none of them admits a valid partition: the remaining features are
+        // inspected one by one until a split is found or all are exhausted.
+        let best = match self.params.feature_subsample {
             Some(m) if m < self.features.len() => {
                 let mut fs = self.features.clone();
-                fs.partial_shuffle(&mut self.rng, m);
-                fs.truncate(m);
-                fs
+                fs.shuffle(&mut self.rng);
+                let mut best = self.best_split(rows, &fs[..m], sum);
+                let mut next = m;
+                while best.is_none() && next < fs.len() {
+                    best = self.best_split(rows, &fs[next..next + 1], sum);
+                    next += 1;
+                }
+                best
             }
-            _ => self.features.clone(),
+            _ => self.best_split(rows, &self.features, sum),
         };
 
+        let Some((_, feature, bin)) = best else {
+            return self.leaf(n as f64, sum);
+        };
+
+        // Partition rows in place: codes <= bin go left.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            if self.binned.row_codes(rows[lo] as usize)[feature] as usize <= bin {
+                lo += 1;
+            } else {
+                hi -= 1;
+                rows.swap(lo, hi);
+            }
+        }
+        debug_assert!(lo > 0 && lo < n, "split must separate rows");
+
+        let threshold = self.binned.threshold(feature, bin);
+        // Reserve the split slot before recursing so the root lands at index 0.
+        self.nodes.push(TreeNode::Leaf { value: 0.0 });
+        let me = (self.nodes.len() - 1) as u32;
+        let (left_rows, right_rows) = rows.split_at_mut(lo);
+        let left = self.grow(left_rows, depth + 1);
+        let right = self.grow(right_rows, depth + 1);
+        self.nodes[me as usize] =
+            TreeNode::Split { feature: feature as u32, threshold, left, right };
+        me
+    }
+
+    /// Best `(gain, feature, bin)` split over `feats`, or `None` when no
+    /// split satisfies the leaf-size and `gamma` constraints.
+    fn best_split(&self, rows: &[u32], feats: &[usize], sum: f64) -> Option<(f64, usize, usize)> {
+        let n = rows.len();
         // Histogram accumulation: (count, target sum) per bin per feature.
         let offsets: Vec<usize> = {
             let mut off = Vec::with_capacity(feats.len());
             let mut acc = 0usize;
-            for &f in &feats {
+            for &f in feats {
                 off.push(acc);
                 acc += self.binned.n_bins(f);
             }
@@ -212,34 +250,7 @@ impl<'a> Grower<'a> {
                 }
             }
         }
-
-        let Some((_, feature, bin)) = best else {
-            return self.leaf(n as f64, sum);
-        };
-
-        // Partition rows in place: codes <= bin go left.
-        let mut lo = 0usize;
-        let mut hi = n;
-        while lo < hi {
-            if self.binned.row_codes(rows[lo] as usize)[feature] as usize <= bin {
-                lo += 1;
-            } else {
-                hi -= 1;
-                rows.swap(lo, hi);
-            }
-        }
-        debug_assert!(lo > 0 && lo < n, "split must separate rows");
-
-        let threshold = self.binned.threshold(feature, bin);
-        // Reserve the split slot before recursing so the root lands at index 0.
-        self.nodes.push(TreeNode::Leaf { value: 0.0 });
-        let me = (self.nodes.len() - 1) as u32;
-        let (left_rows, right_rows) = rows.split_at_mut(lo);
-        let left = self.grow(left_rows, depth + 1);
-        let right = self.grow(right_rows, depth + 1);
-        self.nodes[me as usize] =
-            TreeNode::Split { feature: feature as u32, threshold, left, right };
-        me
+        best
     }
 }
 
@@ -388,8 +399,7 @@ mod tests {
     fn feature_subsampling_still_learns() {
         // Two features; only feature 1 is informative. With mtry = 1 some nodes
         // see only feature 0, but depth lets the tree recover.
-        let rows_data: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![(i % 3) as f64, i as f64]).collect();
+        let rows_data: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 3) as f64, i as f64]).collect();
         let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 100.0 }).collect();
         let x = Matrix::from_rows(&rows_data).unwrap();
         let binned = BinnedMatrix::from_matrix(&x, 32).unwrap();

@@ -82,11 +82,7 @@ impl KMeans {
         Ok(labels)
     }
 
-    fn run_once(
-        &self,
-        x: &Matrix,
-        rng: &mut StdRng,
-    ) -> MlResult<(f64, Matrix, Vec<usize>, usize)> {
+    fn run_once(&self, x: &Matrix, rng: &mut StdRng) -> MlResult<(f64, Matrix, Vec<usize>, usize)> {
         let n = x.rows();
         let d = x.cols();
         let k = self.config.k;
@@ -320,12 +316,8 @@ mod tests {
         let labels = km.fit(&x).unwrap();
         // Every ground-truth blob must map to exactly one k-means label.
         for blob in 0..3 {
-            let blob_labels: Vec<usize> = labels
-                .iter()
-                .zip(&truth)
-                .filter(|(_, t)| **t == blob)
-                .map(|(l, _)| *l)
-                .collect();
+            let blob_labels: Vec<usize> =
+                labels.iter().zip(&truth).filter(|(_, t)| **t == blob).map(|(l, _)| *l).collect();
             assert!(blob_labels.windows(2).all(|w| w[0] == w[1]), "blob {blob} split");
         }
         assert!(km.inertia() < 100.0);

@@ -83,11 +83,7 @@ impl Regressor for KnnRegressor {
         if self.config.k == 0 {
             return Err(MlError::InvalidHyperparameter("k must be >= 1".into()));
         }
-        self.x = if self.config.standardize {
-            self.scaler.fit_transform(x)?
-        } else {
-            x.clone()
-        };
+        self.x = if self.config.standardize { self.scaler.fit_transform(x)? } else { x.clone() };
         self.y = y.to_vec();
         self.fitted = true;
         Ok(())
@@ -111,9 +107,8 @@ impl Regressor for KnnRegressor {
         let k = self.config.k.min(self.x.rows());
         let mut dists: Vec<(f64, usize)> =
             self.x.row_iter().enumerate().map(|(i, r)| (sq_dist(r, &q), i)).collect();
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distances")
-        });
+        dists
+            .select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
         let neighbors = &dists[..k];
         match self.config.weights {
             KnnWeights::Uniform => {
@@ -178,11 +173,8 @@ mod tests {
     fn uniform_weights_average_neighbors() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]).unwrap();
         let y = vec![2.0, 4.0, 100.0];
-        let mut m = KnnRegressor::new(KnnConfig {
-            k: 2,
-            weights: KnnWeights::Uniform,
-            standardize: false,
-        });
+        let mut m =
+            KnnRegressor::new(KnnConfig { k: 2, weights: KnnWeights::Uniform, standardize: false });
         m.fit(&x, &y).unwrap();
         assert!((m.predict_row(&[0.4]).unwrap() - 3.0).abs() < 1e-12);
     }

@@ -23,11 +23,7 @@ fn check_pair(y_true: &[f64], y_pred: &[f64]) -> MlResult<()> {
 /// Returns an error for empty or mismatched inputs.
 pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> MlResult<f64> {
     check_pair(y_true, y_pred)?;
-    let mse = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum::<f64>()
+    let mse = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>()
         / y_true.len() as f64;
     Ok(mse.sqrt())
 }

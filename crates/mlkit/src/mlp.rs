@@ -274,11 +274,8 @@ impl Mlp {
         let bs = self.config.batch_size.clamp(1, n);
         let mut order: Vec<usize> = (0..n).collect();
         // Optimizer state per layer: (velocity/moment1, moment2) for w and b.
-        let mut state: Vec<OptState> = self
-            .layers
-            .iter()
-            .map(|l| OptState::new(l.w.rows(), l.w.cols()))
-            .collect();
+        let mut state: Vec<OptState> =
+            self.layers.iter().map(|l| OptState::new(l.w.rows(), l.w.cols())).collect();
         let mut t = 0usize; // Adam time step
         let mut prev_loss = f64::INFINITY;
         for epoch in 0..self.config.max_iter {
@@ -300,9 +297,7 @@ impl Mlp {
                 epoch_loss += loss;
                 batches += 1;
                 t += 1;
-                for ((layer, st), (gw, gb)) in
-                    self.layers.iter_mut().zip(&mut state).zip(&grads)
-                {
+                for ((layer, st), (gw, gb)) in self.layers.iter_mut().zip(&mut state).zip(&grads) {
                     apply_update(&self.config.optimizer, layer, st, gw, gb, t);
                 }
             }
@@ -376,18 +371,14 @@ impl Mlp {
             let c1 = 1e-4;
             let mut accepted = false;
             for _ in 0..30 {
-                let candidate: Vec<f64> = theta
-                    .iter()
-                    .zip(&direction)
-                    .map(|(t, d)| t + step * d)
-                    .collect();
+                let candidate: Vec<f64> =
+                    theta.iter().zip(&direction).map(|(t, d)| t + step * d).collect();
                 let (new_loss, new_grad) = eval(self, &candidate);
                 if new_loss <= loss + c1 * step * dir_dot_grad {
                     // Curvature update.
                     let s_vec: Vec<f64> =
                         candidate.iter().zip(&theta).map(|(a, b)| a - b).collect();
-                    let y_vec: Vec<f64> =
-                        new_grad.iter().zip(&grad).map(|(a, b)| a - b).collect();
+                    let y_vec: Vec<f64> = new_grad.iter().zip(&grad).map(|(a, b)| a - b).collect();
                     let sy = crate::linalg::dot(&s_vec, &y_vec);
                     if sy > 1e-12 {
                         if s_hist.len() == history {
@@ -474,8 +465,7 @@ fn apply_update(
 ) {
     match *opt {
         OptimizerKind::Sgd { lr, momentum } => {
-            for ((w, m), g) in
-                layer.w.as_mut_slice().iter_mut().zip(&mut st.m_w).zip(gw.as_slice())
+            for ((w, m), g) in layer.w.as_mut_slice().iter_mut().zip(&mut st.m_w).zip(gw.as_slice())
             {
                 *m = momentum * *m - lr * g;
                 *w += *m;
@@ -503,9 +493,7 @@ fn apply_update(
                 *v = B2 * *v + (1.0 - B2) * g * g;
                 *w -= lr * (*m / bc1) / ((*v / bc2).sqrt() + EPS);
             }
-            for (((b, m), v), g) in
-                layer.b.iter_mut().zip(&mut st.m_b).zip(&mut st.v_b).zip(gb)
-            {
+            for (((b, m), v), g) in layer.b.iter_mut().zip(&mut st.m_b).zip(&mut st.v_b).zip(gb) {
                 *m = B1 * *m + (1.0 - B1) * g;
                 *v = B2 * *v + (1.0 - B2) * g * g;
                 *b -= lr * (*m / bc1) / ((*v / bc2).sqrt() + EPS);
@@ -598,16 +586,16 @@ mod tests {
 
     fn linear_data(n: usize) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(17);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| vec![rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
 
     fn quadratic_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| vec![rng.gen::<f64>() * 2.0 - 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>() * 2.0 - 1.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0] * 10.0).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
@@ -706,11 +694,8 @@ mod tests {
     #[test]
     fn footprint_matches_architecture() {
         let (x, y) = linear_data(50);
-        let mut mlp = Mlp::new(MlpConfig {
-            hidden_layers: vec![5, 3],
-            max_iter: 1,
-            ..Default::default()
-        });
+        let mut mlp =
+            Mlp::new(MlpConfig { hidden_layers: vec![5, 3], max_iter: 1, ..Default::default() });
         mlp.fit(&x, &y).unwrap();
         // (2*5 + 5) + (5*3 + 3) + (3*1 + 1) = 15 + 18 + 4 = 37.
         assert_eq!(mlp.num_parameters(), 37);

@@ -124,8 +124,7 @@ mod tests {
 
     #[test]
     fn standardizes_to_zero_mean_unit_variance() {
-        let x =
-            Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap();
         let mut s = StandardScaler::new();
         let t = s.fit_transform(&x).unwrap();
         for c in 0..2 {

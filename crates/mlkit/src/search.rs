@@ -100,9 +100,8 @@ pub fn randomized_search<C: Clone>(
     let mut trials: Vec<(C, f64)> = Vec::with_capacity(n_candidates);
     for trial in 0..n_candidates {
         let candidate = sample(&mut rng);
-        let score = cross_val_rmse(x, y, n_folds, seed.wrapping_add(trial as u64), &|| {
-            build(&candidate)
-        })?;
+        let score =
+            cross_val_rmse(x, y, n_folds, seed.wrapping_add(trial as u64), &|| build(&candidate))?;
         trials.push((candidate, score));
     }
     let (best, cv_rmse) = trials
@@ -172,26 +171,16 @@ mod tests {
         // On clean linear data less regularization is better; the winner must
         // beat heavy shrinkage candidates.
         assert!(outcome.best < 100.0);
-        let worst = outcome
-            .trials
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let worst = outcome.trials.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
         assert!(outcome.cv_rmse <= worst);
     }
 
     #[test]
     fn randomized_search_rejects_zero_candidates() {
         let (x, y) = noisy_linear(20);
-        let r = randomized_search(
-            &x,
-            &y,
-            0,
-            3,
-            0,
-            &|_rng: &mut StdRng| 1.0,
-            &|a: &f64| Box::new(Ridge::new(*a)) as Box<dyn Regressor>,
-        );
+        let r = randomized_search(&x, &y, 0, 3, 0, &|_rng: &mut StdRng| 1.0, &|a: &f64| {
+            Box::new(Ridge::new(*a)) as Box<dyn Regressor>
+        });
         assert!(r.is_err());
     }
 }

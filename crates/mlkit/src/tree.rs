@@ -123,8 +123,17 @@ mod tests {
     #[test]
     fn fits_piecewise_constant_target_exactly() {
         let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> =
-            (0..30).map(|i| if i < 10 { 1.0 } else if i < 20 { 5.0 } else { -2.0 }).collect();
+        let y: Vec<f64> = (0..30)
+            .map(|i| {
+                if i < 10 {
+                    1.0
+                } else if i < 20 {
+                    5.0
+                } else {
+                    -2.0
+                }
+            })
+            .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let mut dt = DecisionTree::default_config();
         dt.fit(&x, &y).unwrap();
@@ -188,7 +197,8 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
         let x = Matrix::from_rows(&rows).unwrap();
-        let mut shallow = DecisionTree::new(DecisionTreeConfig { max_depth: 2, ..Default::default() });
+        let mut shallow =
+            DecisionTree::new(DecisionTreeConfig { max_depth: 2, ..Default::default() });
         let mut deep = DecisionTree::new(DecisionTreeConfig { max_depth: 8, ..Default::default() });
         shallow.fit(&x, &y).unwrap();
         deep.fit(&x, &y).unwrap();

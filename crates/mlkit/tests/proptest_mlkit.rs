@@ -11,7 +11,10 @@ use wmp_mlkit::tree::DecisionTree;
 use wmp_mlkit::Regressor;
 
 /// Strategy: a small random matrix with bounded entries.
-fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn arb_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         prop::collection::vec(-100.0f64..100.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized data"))

@@ -41,9 +41,8 @@ impl Cards {
 pub fn scan_cards(catalog: &Catalog, spec: &QuerySpec, alias: &str) -> PlanResult<Cards> {
     let table_name =
         spec.table_of_alias(alias).ok_or_else(|| PlanError::UnknownAlias(alias.to_string()))?;
-    let table = catalog
-        .table(table_name)
-        .ok_or_else(|| PlanError::UnknownTable(table_name.to_string()))?;
+    let table =
+        catalog.table(table_name).ok_or_else(|| PlanError::UnknownTable(table_name.to_string()))?;
     let preds = spec.predicates_for(alias);
     let rows = table.row_count as f64;
     if preds.is_empty() {
@@ -57,11 +56,7 @@ pub fn scan_cards(catalog: &Catalog, spec: &QuerySpec, alias: &str) -> PlanResul
         let rho = if i == 0 {
             0.0
         } else {
-            catalog.correlations.predicate_correlation(
-                table_name,
-                &preds[i - 1].column,
-                &p.column,
-            )
+            catalog.correlations.predicate_correlation(table_name, &preds[i - 1].column, &p.column)
         };
         pairs.push((p.sel_true.clamp(0.0, 1.0), rho));
     }
@@ -103,16 +98,9 @@ pub fn join_cards(
         table: rt.to_string(),
         column: right_col.to_string(),
     })?;
-    let est_sel = 1.0
-        / (lc.ndv as f64)
-            .min(left.est)
-            .max((rc.ndv as f64).min(right.est))
-            .max(1.0);
-    let true_sel_base = 1.0
-        / (lc.ndv as f64)
-            .min(left.truth)
-            .max((rc.ndv as f64).min(right.truth))
-            .max(1.0);
+    let est_sel = 1.0 / (lc.ndv as f64).min(left.est).max((rc.ndv as f64).min(right.est)).max(1.0);
+    let true_sel_base =
+        1.0 / (lc.ndv as f64).min(left.truth).max((rc.ndv as f64).min(right.truth)).max(1.0);
     let skew = catalog.correlations.join_skew(lt, left_col, rt, right_col);
     Ok(Cards {
         est: (left.est * right.est * est_sel).max(1.0),
@@ -177,8 +165,7 @@ mod tests {
     #[test]
     fn independent_predicates_multiply() {
         let cat = catalog();
-        let spec =
-            spec_with(vec![pred("o", "o_status", 0.2, 0.2), pred("o", "o_prio", 0.2, 0.2)]);
+        let spec = spec_with(vec![pred("o", "o_status", 0.2, 0.2), pred("o", "o_prio", 0.2, 0.2)]);
         let c = scan_cards(&cat, &spec, "o").unwrap();
         assert!((c.est - 10_000.0 * 0.04).abs() < 1e-6);
         assert!((c.truth - 10_000.0 * 0.04).abs() < 1e-6);
@@ -188,8 +175,7 @@ mod tests {
     fn correlation_inflates_truth_but_not_estimate() {
         let mut cat = catalog();
         cat.correlations.set_predicate_correlation("orders", "o_status", "o_prio", 1.0);
-        let spec =
-            spec_with(vec![pred("o", "o_status", 0.2, 0.2), pred("o", "o_prio", 0.2, 0.2)]);
+        let spec = spec_with(vec![pred("o", "o_status", 0.2, 0.2), pred("o", "o_prio", 0.2, 0.2)]);
         let c = scan_cards(&cat, &spec, "o").unwrap();
         assert!((c.est - 400.0).abs() < 1e-6, "estimate keeps the independence product");
         assert!((c.truth - 2000.0).abs() < 1e-6, "truth follows min(s1, s2) under rho=1");

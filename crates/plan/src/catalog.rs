@@ -102,7 +102,10 @@ mod tests {
         cat.add_table(Table::new(
             "orders",
             1000,
-            vec![Column::new("o_id", ColumnType::Int, 1000), Column::new("o_cust", ColumnType::Int, 100)],
+            vec![
+                Column::new("o_id", ColumnType::Int, 1000),
+                Column::new("o_cust", ColumnType::Int, 100),
+            ],
         ));
         cat.add_index("orders", "o_id", true);
         cat

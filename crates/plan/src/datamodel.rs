@@ -58,7 +58,14 @@ impl CorrelationModel {
     }
 
     /// Declares a join-skew multiplier for an equi-join edge.
-    pub fn set_join_skew(&mut self, table_a: &str, col_a: &str, table_b: &str, col_b: &str, skew: f64) {
+    pub fn set_join_skew(
+        &mut self,
+        table_a: &str,
+        col_a: &str,
+        table_b: &str,
+        col_b: &str,
+        skew: f64,
+    ) {
         self.join_skew.insert(join_key(table_a, col_a, table_b, col_b), skew.max(1e-6));
     }
 

@@ -72,11 +72,8 @@ impl<'a> Planner<'a> {
         if spec.tables.is_empty() {
             return Err(PlanError::NoTables);
         }
-        let mut fragments: Vec<Fragment> = spec
-            .tables
-            .iter()
-            .map(|t| self.build_scan(spec, t))
-            .collect::<PlanResult<_>>()?;
+        let mut fragments: Vec<Fragment> =
+            spec.tables.iter().map(|t| self.build_scan(spec, t)).collect::<PlanResult<_>>()?;
 
         // Join enumeration.
         while fragments.len() > 1 {
@@ -136,8 +133,12 @@ impl<'a> Planner<'a> {
                     cards.truth,
                     width,
                 );
-                current =
-                    Fragment { node, aliases: current.aliases, cards, sorted_on: Some(first_key.clone()) };
+                current = Fragment {
+                    node,
+                    aliases: current.aliases,
+                    cards,
+                    sorted_on: Some(first_key.clone()),
+                };
             }
         }
 
@@ -148,7 +149,8 @@ impl<'a> Planner<'a> {
                 truth: current.cards.truth.min(n as f64),
             };
             let width = current.node.row_width;
-            current.node = PlanNode::unary(Operator::Limit { n }, current.node, out.est, out.truth, width);
+            current.node =
+                PlanNode::unary(Operator::Limit { n }, current.node, out.est, out.truth, width);
             current.cards = out;
         }
 
@@ -178,7 +180,13 @@ impl<'a> Planner<'a> {
             .filter(|p| {
                 matches!(
                     p.op,
-                    CmpOp::Eq | CmpOp::InList(_) | CmpOp::Between | CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt
+                    CmpOp::Eq
+                        | CmpOp::InList(_)
+                        | CmpOp::Between
+                        | CmpOp::Le
+                        | CmpOp::Lt
+                        | CmpOp::Ge
+                        | CmpOp::Gt
                 ) && self.catalog.has_index(&tref.table, &p.column)
             })
             .min_by(|a, b| a.sel_est.partial_cmp(&b.sel_est).expect("finite selectivity"));
@@ -370,11 +378,8 @@ impl<'a> Planner<'a> {
         }
 
         // Hash join: build on the smaller estimated input (children[1] = build).
-        let (probe, build) = if outer.cards.est >= inner.cards.est {
-            (outer, inner)
-        } else {
-            (inner, outer)
-        };
+        let (probe, build) =
+            if outer.cards.est >= inner.cards.est { (outer, inner) } else { (inner, outer) };
         let node = PlanNode {
             op: Operator::HashJoin,
             children: vec![probe.node.clone(), build.node.clone()],
@@ -391,9 +396,8 @@ impl<'a> Planner<'a> {
         let mut ndv_product_true = 1.0f64;
         let mut width: u32 = 16;
         for (alias, col) in &spec.group_by {
-            let table_name = spec
-                .table_of_alias(alias)
-                .ok_or_else(|| PlanError::UnknownAlias(alias.clone()))?;
+            let table_name =
+                spec.table_of_alias(alias).ok_or_else(|| PlanError::UnknownAlias(alias.clone()))?;
             let (_, column) = self.catalog.column(table_name, col).ok_or_else(|| {
                 PlanError::UnknownColumn { table: table_name.to_string(), column: col.clone() }
             })?;
@@ -648,10 +652,7 @@ mod tests {
         let cat = catalog();
         let planner = Planner::new(&cat);
         assert_eq!(planner.plan(&QuerySpec::default()), Err(PlanError::NoTables));
-        let spec = QuerySpec {
-            tables: vec![TableRef::new("nope", "n")],
-            ..QuerySpec::default()
-        };
+        let spec = QuerySpec { tables: vec![TableRef::new("nope", "n")], ..QuerySpec::default() };
         assert!(matches!(planner.plan(&spec), Err(PlanError::UnknownTable(_))));
         let spec = QuerySpec {
             tables: vec![TableRef::new("dim", "d")],

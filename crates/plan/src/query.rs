@@ -199,7 +199,11 @@ mod tests {
                 sel_true: 0.08,
             }],
             group_by: vec![("c".into(), "c_nation".into())],
-            aggregates: vec![Aggregate { func: AggFunc::Sum, table_alias: "o".into(), column: "o_total".into() }],
+            aggregates: vec![Aggregate {
+                func: AggFunc::Sum,
+                table_alias: "o".into(),
+                column: "o_total".into(),
+            }],
             order_by: vec![],
             distinct: false,
             limit: None,
@@ -224,10 +228,7 @@ mod tests {
     fn memory_operator_detection() {
         let s = spec();
         assert!(s.has_memory_operators());
-        let trivial = QuerySpec {
-            tables: vec![TableRef::plain("t")],
-            ..QuerySpec::default()
-        };
+        let trivial = QuerySpec { tables: vec![TableRef::plain("t")], ..QuerySpec::default() };
         assert!(!trivial.has_memory_operators());
     }
 

@@ -68,7 +68,13 @@ pub struct Column {
 impl Column {
     /// Convenience constructor for a uniform, non-null column.
     pub fn new(name: &str, ty: ColumnType, ndv: u64) -> Self {
-        Column { name: name.to_string(), ty, ndv, null_frac: 0.0, distribution: Distribution::Uniform }
+        Column {
+            name: name.to_string(),
+            ty,
+            ndv,
+            null_frac: 0.0,
+            distribution: Distribution::Uniform,
+        }
     }
 
     /// Builder-style override of the distribution.

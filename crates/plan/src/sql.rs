@@ -26,7 +26,8 @@ pub fn render_sql(q: &QuerySpec) -> String {
     }
     if select_items.is_empty() {
         // Project the first table's columns.
-        select_items.push(format!("{}.*", q.tables.first().map(|t| t.alias.as_str()).unwrap_or("*")));
+        select_items
+            .push(format!("{}.*", q.tables.first().map(|t| t.alias.as_str()).unwrap_or("*")));
     }
     s.push_str(&select_items.join(", "));
 
@@ -68,14 +69,12 @@ pub fn render_sql(q: &QuerySpec) -> String {
 
     if !q.group_by.is_empty() {
         s.push_str(" GROUP BY ");
-        let cols: Vec<String> =
-            q.group_by.iter().map(|(a, c)| format!("{a}.{c}")).collect();
+        let cols: Vec<String> = q.group_by.iter().map(|(a, c)| format!("{a}.{c}")).collect();
         s.push_str(&cols.join(", "));
     }
     if !q.order_by.is_empty() {
         s.push_str(" ORDER BY ");
-        let cols: Vec<String> =
-            q.order_by.iter().map(|(a, c)| format!("{a}.{c}")).collect();
+        let cols: Vec<String> = q.order_by.iter().map(|(a, c)| format!("{a}.{c}")).collect();
         s.push_str(&cols.join(", "));
     }
     if let Some(n) = q.limit {
@@ -122,7 +121,9 @@ mod tests {
     #[test]
     fn renders_full_query_shape() {
         let sql = render_sql(&join_query());
-        assert!(sql.starts_with("SELECT c.c_nation, SUM(o.o_total) FROM orders AS o, customer AS c"));
+        assert!(
+            sql.starts_with("SELECT c.c_nation, SUM(o.o_total) FROM orders AS o, customer AS c")
+        );
         assert!(sql.contains("WHERE o.o_cust = c.c_id AND c.c_nation = 'CA'"));
         assert!(sql.contains("GROUP BY c.c_nation"));
         assert!(sql.contains("ORDER BY c.c_nation"));

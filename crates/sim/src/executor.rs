@@ -125,9 +125,7 @@ impl ExecutorSimulator {
                     * (b.row_width as f64 + c.hash_entry_overhead + c.bucket_bytes_per_entry);
                 // Build phase: table grows while the build child streams;
                 // probe phase: full table coexists with the probe subtree.
-                let peak = (build.peak)
-                    .max(table + build.resident)
-                    .max(table + probe.peak);
+                let peak = (build.peak).max(table + build.resident).max(table + probe.peak);
                 MemProfile { peak, resident: table + probe.resident }
             }
             Operator::NestedLoopJoin => {
@@ -136,10 +134,7 @@ impl ExecutorSimulator {
                 // The inner side is re-evaluated per outer row; both sides'
                 // working sets coexist.
                 let peak = outer.peak.max(outer.resident + inner.peak) + c.stream_scratch;
-                MemProfile {
-                    peak,
-                    resident: outer.resident + inner.resident + c.stream_scratch,
-                }
+                MemProfile { peak, resident: outer.resident + inner.resident + c.stream_scratch }
             }
             Operator::MergeJoin => {
                 let l = self.profile(&node.children[0]);
@@ -200,10 +195,7 @@ mod tests {
     }
 
     fn sim() -> ExecutorSimulator {
-        ExecutorSimulator::with_config(MemoryConfig {
-            noise_sigma: 0.0,
-            ..MemoryConfig::default()
-        })
+        ExecutorSimulator::with_config(MemoryConfig { noise_sigma: 0.0, ..MemoryConfig::default() })
     }
 
     #[test]
@@ -264,13 +256,8 @@ mod tests {
         assert!((p.resident - 1000.0 * 100.0).abs() < 1.0);
 
         let huge_input = scan(1e8, 100); // 10 GB spills
-        let huge_sort = PlanNode::unary(
-            Operator::Sort { keys: vec!["t.a".into()] },
-            huge_input,
-            1e8,
-            1e8,
-            100,
-        );
+        let huge_sort =
+            PlanNode::unary(Operator::Sort { keys: vec!["t.a".into()] }, huge_input, 1e8, 1e8, 100);
         let p = s.profile(&huge_sort);
         let expected = s.config().sort_heap_cap + s.config().spill_merge_buffers;
         assert!((p.resident - expected).abs() < 1.0, "spilling sort holds the cap");
@@ -305,7 +292,8 @@ mod tests {
             row_width: 180,
         };
         let table = 100_000.0 * (80.0 + 48.0 + 8.0);
-        let sort = PlanNode::unary(Operator::Sort { keys: vec!["t.a".into()] }, join, 1e6, 1e6, 180);
+        let sort =
+            PlanNode::unary(Operator::Sort { keys: vec!["t.a".into()] }, join, 1e6, 1e6, 180);
         let sort_heap = 1e6 * 180.0; // 180 MB of data, below the 192 MB cap
         let p = s.profile(&sort);
         assert!(
@@ -318,13 +306,8 @@ mod tests {
     #[test]
     fn stream_aggregate_is_cheap() {
         let s = sim();
-        let agg = PlanNode::unary(
-            Operator::StreamAggregate { n_aggs: 1 },
-            scan(1e6, 100),
-            1.0,
-            1.0,
-            32,
-        );
+        let agg =
+            PlanNode::unary(Operator::StreamAggregate { n_aggs: 1 }, scan(1e6, 100), 1.0, 1.0, 32);
         let p = s.profile(&agg);
         assert!(p.peak < 1.0 * MB);
     }

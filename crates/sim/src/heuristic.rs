@@ -100,8 +100,7 @@ impl DbmsHeuristicEstimator {
                 }
             }
             Operator::HashAggregate { .. } | Operator::HashDistinct => {
-                node.est_rows * (node.row_width as f64 + c.agg_entry_overhead)
-                    + c.base_reservation
+                node.est_rows * (node.row_width as f64 + c.agg_entry_overhead) + c.base_reservation
             }
         }
     }
@@ -162,13 +161,8 @@ mod tests {
             row_width: 180,
         };
         let single = h.estimate_mb(&join);
-        let stacked = PlanNode::unary(
-            Operator::Sort { keys: vec!["x".into()] },
-            join,
-            1e6,
-            1e6,
-            180,
-        );
+        let stacked =
+            PlanNode::unary(Operator::Sort { keys: vec!["x".into()] }, join, 1e6, 1e6, 180);
         let both = h.estimate_mb(&stacked);
         assert!(both > single, "the sort reservation simply adds on top");
     }

@@ -45,8 +45,7 @@ mod tests {
     #[test]
     fn factors_center_around_one() {
         let n = 2000;
-        let mean: f64 =
-            (0..n).map(|i| lognormal_factor(3, i, 0.05)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|i| lognormal_factor(3, i, 0.05)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean factor = {mean}");
         // All factors positive and bounded for small sigma.
         for i in 0..n {

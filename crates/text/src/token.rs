@@ -2,9 +2,9 @@
 
 /// SQL keywords recognized by the text-mining vocabulary builder.
 pub const SQL_KEYWORDS: [&str; 24] = [
-    "select", "distinct", "from", "where", "and", "or", "group", "by", "order", "having",
-    "fetch", "first", "rows", "only", "as", "in", "between", "like", "sum", "count", "avg",
-    "min", "max", "not",
+    "select", "distinct", "from", "where", "and", "or", "group", "by", "order", "having", "fetch",
+    "first", "rows", "only", "as", "in", "between", "like", "sum", "count", "avg", "min", "max",
+    "not",
 ];
 
 /// Lower-cases and splits SQL text into identifier/keyword/number tokens.
@@ -41,7 +41,9 @@ mod tests {
         let t = tokenize("SELECT c.name FROM customer AS c WHERE c.nation = 'CA'");
         assert_eq!(
             t,
-            vec!["select", "c", "name", "from", "customer", "as", "c", "where", "c", "nation", "ca"]
+            vec![
+                "select", "c", "name", "from", "customer", "as", "c", "where", "c", "nation", "ca"
+            ]
         );
     }
 

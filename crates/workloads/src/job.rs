@@ -221,8 +221,19 @@ pub fn catalog() -> Catalog {
     ));
 
     // Primary keys only on true entity tables; IMDB link tables are scanned.
-    for t in ["title", "keyword", "company_name", "company_type", "name", "char_name",
-              "role_type", "info_type", "kind_type", "link_type", "comp_cast_type"] {
+    for t in [
+        "title",
+        "keyword",
+        "company_name",
+        "company_type",
+        "name",
+        "char_name",
+        "role_type",
+        "info_type",
+        "kind_type",
+        "link_type",
+        "comp_cast_type",
+    ] {
         cat.add_index(t, "id", true);
     }
 
@@ -281,13 +292,21 @@ pub fn families() -> Vec<JobFamily> {
     let main = [Mi, Mk, Mc, Ci];
     let mut out = Vec::with_capacity(N_FAMILIES);
     for mask in 1u32..16 {
-        let blocks: Vec<Block> =
-            main.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, b)| *b).collect();
+        let blocks: Vec<Block> = main
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, b)| *b)
+            .collect();
         out.push(JobFamily { id: out.len(), blocks });
     }
     for mask in 1u32..16 {
-        let mut blocks: Vec<Block> =
-            main.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, b)| *b).collect();
+        let mut blocks: Vec<Block> = main
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, b)| *b)
+            .collect();
         blocks.push(Kt);
         out.push(JobFamily { id: out.len(), blocks });
     }
@@ -346,12 +365,12 @@ pub fn instantiate(cat: &Catalog, v: &JobVariant, id: u64, rng: &mut StdRng) -> 
     let extra_preds = v.style == 3;
 
     let join = |tables: &mut Vec<TableRef>,
-                    joins: &mut Vec<JoinEdge>,
-                    la: &str,
-                    lc: &str,
-                    table: &str,
-                    alias: &str,
-                    rc: &str| {
+                joins: &mut Vec<JoinEdge>,
+                la: &str,
+                lc: &str,
+                table: &str,
+                alias: &str,
+                rc: &str| {
         tables.push(TableRef::new(table, alias));
         joins.push(JoinEdge {
             left_alias: la.into(),
@@ -391,7 +410,15 @@ pub fn instantiate(cat: &Catalog, v: &JobVariant, id: u64, rng: &mut StdRng) -> 
                 join(&mut tables, &mut joins, "mc", "company_id", "company_name", "cn", "id");
                 predicates.push(draw_eq("cn", col("company_name", "country_code"), rng));
                 if extra_preds {
-                    join(&mut tables, &mut joins, "mc", "company_type_id", "company_type", "ct", "id");
+                    join(
+                        &mut tables,
+                        &mut joins,
+                        "mc",
+                        "company_type_id",
+                        "company_type",
+                        "ct",
+                        "id",
+                    );
                     predicates.push(draw_eq("ct", col("company_type", "kind"), rng));
                 }
                 aggregates.push(Aggregate {

@@ -96,14 +96,7 @@ pub fn build_record(
     let true_memory_mb = simulator.peak_memory_mb(&plan, spec.id);
     let dbms_estimate_mb = heuristic.estimate_mb(&plan);
     let _ = catalog; // catalog is implicit in the planner; kept for signature clarity
-    Ok(QueryRecord {
-        id: spec.id,
-        spec,
-        features,
-        true_memory_mb,
-        dbms_estimate_mb,
-        template_hint,
-    })
+    Ok(QueryRecord { id: spec.id, spec, features, true_memory_mb, dbms_estimate_mb, template_hint })
 }
 
 /// Builds a full log from specs (convenience wrapper over [`build_record`]).

@@ -158,8 +158,9 @@ mod tests {
     fn zipf_truth_varies_more_than_uniform() {
         let spread = |col: &Column| {
             let mut rng = StdRng::seed_from_u64(3);
-            let ratios: Vec<f64> =
-                (0..400).map(|_| draw_eq("t", col, &mut rng).sel_true / (1.0 / col.ndv as f64)).collect();
+            let ratios: Vec<f64> = (0..400)
+                .map(|_| draw_eq("t", col, &mut rng).sel_true / (1.0 / col.ndv as f64))
+                .collect();
             let logs: Vec<f64> = ratios.iter().map(|r| r.ln()).collect();
             let mean = logs.iter().sum::<f64>() / logs.len() as f64;
             (logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64).sqrt()

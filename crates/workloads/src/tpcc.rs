@@ -313,11 +313,7 @@ mod tests {
         let mean = log.mean_true_memory_mb();
         assert!(mean < 20.0, "OLTP queries should be light, mean = {mean} MB");
         // Compared to the analytic benchmarks the ceiling is low too.
-        let max = log
-            .records
-            .iter()
-            .map(|r| r.true_memory_mb)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = log.records.iter().map(|r| r.true_memory_mb).fold(f64::NEG_INFINITY, f64::max);
         assert!(max < 300.0, "max = {max} MB");
     }
 

@@ -240,11 +240,23 @@ pub fn catalog() -> Catalog {
     cat.correlations.set_predicate_correlation("customer", "c_birth_country", "c_birth_year", 0.3);
     cat.correlations.set_predicate_correlation("date_dim", "d_year", "d_moy", 0.1);
     cat.correlations.set_join_skew("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", 1.6);
-    cat.correlations.set_join_skew("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk", 1.5);
+    cat.correlations.set_join_skew(
+        "catalog_sales",
+        "cs_sold_date_sk",
+        "date_dim",
+        "d_date_sk",
+        1.5,
+    );
     cat.correlations.set_join_skew("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk", 1.5);
     cat.correlations.set_join_skew("inventory", "inv_date_sk", "date_dim", "d_date_sk", 1.2);
     cat.correlations.set_join_skew("store_sales", "ss_item_sk", "item", "i_item_sk", 1.3);
-    cat.correlations.set_join_skew("store_sales", "ss_customer_sk", "customer", "c_customer_sk", 1.2);
+    cat.correlations.set_join_skew(
+        "store_sales",
+        "ss_customer_sk",
+        "customer",
+        "c_customer_sk",
+        1.2,
+    );
     cat
 }
 
@@ -508,17 +520,7 @@ pub fn instantiate(cat: &Catalog, t: &TpcdsTemplate, id: u64, rng: &mut StdRng) 
         }
     }
 
-    QuerySpec {
-        id,
-        tables,
-        joins,
-        predicates,
-        group_by,
-        aggregates,
-        order_by,
-        distinct,
-        limit,
-    }
+    QuerySpec { id, tables, joins, predicates, group_by, aggregates, order_by, distinct, limit }
 }
 
 /// Generates a TPC-DS-style query log of `n` queries.
@@ -613,11 +615,8 @@ mod tests {
             assert_eq!(ra.true_memory_mb, rb.true_memory_mb);
         }
         let c = generate(30, 12).unwrap();
-        let same = a
-            .records
-            .iter()
-            .zip(&c.records)
-            .all(|(x, y)| x.true_memory_mb == y.true_memory_mb);
+        let same =
+            a.records.iter().zip(&c.records).all(|(x, y)| x.true_memory_mb == y.true_memory_mb);
         assert!(!same, "different seeds must differ");
     }
 

@@ -47,7 +47,10 @@ fn main() {
     let mut actuals: Vec<f64> = batches.iter().map(|w| w.y).collect();
     actuals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let budget = actuals[actuals.len() / 2] * 1.5;
-    println!("Working-memory budget per batch: {budget:.0} MB ({} incoming batches)\n", batches.len());
+    println!(
+        "Working-memory budget per batch: {budget:.0} MB ({} incoming batches)\n",
+        batches.len()
+    );
 
     let mut learned_tally = Tally::default();
     let mut heuristic_tally = Tally::default();
@@ -73,7 +76,10 @@ fn main() {
         let wrong = t.admitted_overflow + t.rejected_wasteful;
         println!("{name}:");
         println!("  admitted & fit            : {:>3}", t.admitted_ok);
-        println!("  admitted but OVERFLOWED   : {:>3}   <- memory pressure / failures", t.admitted_overflow);
+        println!(
+            "  admitted but OVERFLOWED   : {:>3}   <- memory pressure / failures",
+            t.admitted_overflow
+        );
         println!("  rejected although it fit  : {:>3}   <- wasted capacity", t.rejected_wasteful);
         println!("  rejected & would overflow : {:>3}", t.rejected_ok);
         println!("  wrong decisions           : {:>3}/{total}\n", wrong);
@@ -83,5 +89,7 @@ fn main() {
 
     let l_wrong = learned_tally.admitted_overflow + learned_tally.rejected_wasteful;
     let h_wrong = heuristic_tally.admitted_overflow + heuristic_tally.rejected_wasteful;
-    println!("-> LearnedWMP makes {l_wrong} wrong admission decisions vs the heuristic's {h_wrong}.");
+    println!(
+        "-> LearnedWMP makes {l_wrong} wrong admission decisions vs the heuristic's {h_wrong}."
+    );
 }

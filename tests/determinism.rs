@@ -38,11 +38,8 @@ fn generation_is_bit_identical_across_runs() {
 fn different_seeds_change_the_corpus() {
     let a = learnedwmp::workloads::tpcds::generate(200, 1).expect("a");
     let b = learnedwmp::workloads::tpcds::generate(200, 2).expect("b");
-    let identical = a
-        .records
-        .iter()
-        .zip(&b.records)
-        .all(|(x, y)| x.true_memory_mb == y.true_memory_mb);
+    let identical =
+        a.records.iter().zip(&b.records).all(|(x, y)| x.true_memory_mb == y.true_memory_mb);
     assert!(!identical);
 }
 

@@ -90,9 +90,7 @@ fn learned_training_is_faster_than_single_for_tree_models() {
 
 #[test]
 fn histogram_dimension_matches_template_count() {
-    use learnedwmp::core::{
-        build_histogram, HistogramMode, PlanKMeansTemplates, TemplateLearner,
-    };
+    use learnedwmp::core::{build_histogram, HistogramMode, PlanKMeansTemplates, TemplateLearner};
     let log = learnedwmp::workloads::job::generate(400, 2).expect("job");
     let refs: Vec<_> = log.records.iter().collect();
     let mut learner = PlanKMeansTemplates::new(15, 42);
@@ -113,7 +111,6 @@ fn workload_prediction_is_consistent_with_members() {
     let refs: Vec<_> = log.records.iter().collect();
     let model = SingleWmp::train(ModelKind::Dt, &refs).expect("train");
     let total = model.predict_workload(&refs[..7]).expect("workload");
-    let by_parts: f64 =
-        refs[..7].iter().map(|r| model.predict_query(r).expect("query")).sum();
+    let by_parts: f64 = refs[..7].iter().map(|r| model.predict_query(r).expect("query")).sum();
     assert!((total - by_parts).abs() < 1e-9);
 }

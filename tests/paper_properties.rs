@@ -29,10 +29,8 @@ fn batching_improves_learnedwmp_accuracy() {
 #[test]
 fn single_query_models_win_at_batch_size_one() {
     let log = learnedwmp::workloads::tpcds::generate(6_000, 1).expect("log");
-    let ctx = EvalContext::new(
-        &log,
-        EvalConfig { batch_size: 1, k_templates: 60, ..Default::default() },
-    );
+    let ctx =
+        EvalContext::new(&log, EvalConfig { batch_size: 1, k_templates: 60, ..Default::default() });
     let learned = ctx.evaluate_learned(ModelKind::Xgb).expect("learned");
     let single = ctx.evaluate_single(ModelKind::Xgb).expect("single");
     assert!(
@@ -66,18 +64,15 @@ fn histograms_always_sum_to_batch_size() {
 /// similar memory than the corpus at large (within-template variance is
 /// smaller than the global variance).
 #[test]
-fn templates_group_queries_of_similar_memory()  {
+fn templates_group_queries_of_similar_memory() {
     let log = learnedwmp::workloads::tpcds::generate(3_000, 1).expect("log");
     let refs: Vec<&QueryRecord> = log.records.iter().collect();
     let mut learner = PlanKMeansTemplates::new(60, 42);
     learner.fit(&refs, &log.catalog).expect("fit");
-    let global_mean: f64 =
-        refs.iter().map(|r| r.true_memory_mb).sum::<f64>() / refs.len() as f64;
-    let global_var: f64 = refs
-        .iter()
-        .map(|r| (r.true_memory_mb - global_mean).powi(2))
-        .sum::<f64>()
-        / refs.len() as f64;
+    let global_mean: f64 = refs.iter().map(|r| r.true_memory_mb).sum::<f64>() / refs.len() as f64;
+    let global_var: f64 =
+        refs.iter().map(|r| (r.true_memory_mb - global_mean).powi(2)).sum::<f64>()
+            / refs.len() as f64;
     let mut groups: Vec<Vec<f64>> = vec![Vec::new(); learner.n_templates()];
     for r in &refs {
         groups[learner.assign(r).expect("assign")].push(r.true_memory_mb);

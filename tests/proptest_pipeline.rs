@@ -57,7 +57,16 @@ fn arb_star_query() -> impl Strategy<Value = QuerySpec> {
                 column: "ss_net_profit".into(),
             }];
             let order_by = if order && !group_by.is_empty() { group_by.clone() } else { vec![] };
-            QuerySpec { id, tables, joins, predicates, group_by, aggregates, order_by, ..Default::default() }
+            QuerySpec {
+                id,
+                tables,
+                joins,
+                predicates,
+                group_by,
+                aggregates,
+                order_by,
+                ..Default::default()
+            }
         },
     )
 }

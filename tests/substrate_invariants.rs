@@ -64,7 +64,8 @@ fn simulator_and_heuristic_agree_on_plan_reexecution() {
 
 #[test]
 fn benchmarks_occupy_distinct_memory_regimes() {
-    let [tpcds, job, tpcc]: [QueryLog; 3] = logs().try_into().unwrap_or_else(|_| panic!("three logs"));
+    let [tpcds, job, tpcc]: [QueryLog; 3] =
+        logs().try_into().unwrap_or_else(|_| panic!("three logs"));
     let mean = |l: &QueryLog| l.mean_true_memory_mb();
     // Analytic benchmarks are orders of magnitude heavier than OLTP.
     assert!(mean(&tpcds) > 20.0 * mean(&tpcc), "tpcds {} vs tpcc {}", mean(&tpcds), mean(&tpcc));
@@ -73,8 +74,15 @@ fn benchmarks_occupy_distinct_memory_regimes() {
 
 #[test]
 fn template_hints_are_within_declared_ranges() {
-    let [tpcds, job, tpcc]: [QueryLog; 3] = logs().try_into().unwrap_or_else(|_| panic!("three logs"));
-    assert!(tpcds.records.iter().all(|r| r.template_hint < learnedwmp::workloads::tpcds::N_TEMPLATES));
+    let [tpcds, job, tpcc]: [QueryLog; 3] =
+        logs().try_into().unwrap_or_else(|_| panic!("three logs"));
+    assert!(tpcds
+        .records
+        .iter()
+        .all(|r| r.template_hint < learnedwmp::workloads::tpcds::N_TEMPLATES));
     assert!(job.records.iter().all(|r| r.template_hint < learnedwmp::workloads::job::N_VARIANTS));
-    assert!(tpcc.records.iter().all(|r| r.template_hint < learnedwmp::workloads::tpcc::N_TEMPLATES));
+    assert!(tpcc
+        .records
+        .iter()
+        .all(|r| r.template_hint < learnedwmp::workloads::tpcc::N_TEMPLATES));
 }
