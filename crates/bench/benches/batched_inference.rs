@@ -1,0 +1,52 @@
+//! Criterion bench for the batched-inference hot path behind
+//! `WorkloadPredictor::predict_workloads`: the memoized path assigns each
+//! distinct record to its template once and reuses assignments across
+//! workloads, versus the naive path re-running template assignment for
+//! every workload membership. The gap is the serving-side win for a daemon
+//! scoring many overlapping batches per tick.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use learnedwmp_core::{
+    batch_workloads, EvalConfig, EvalContext, LabelMode, LearnedWmp, ModelKind, TemplateSpec,
+    WorkloadPredictor,
+};
+use wmp_workloads::QueryRecord;
+
+fn bench_batched_inference(c: &mut Criterion) {
+    let log = wmp_workloads::job::generate(2_300, 2).expect("job generation");
+    let ctx = EvalContext::new(&log, EvalConfig { k_templates: 40, ..Default::default() });
+    let model = LearnedWmp::builder()
+        .model(ModelKind::Xgb)
+        .templates(TemplateSpec::PlanKMeans { k: 40, seed: 42 })
+        .fit_refs(&ctx.train, &log.catalog)
+        .expect("training");
+    let predictor: &dyn WorkloadPredictor = &model;
+
+    // Many overlapping batches over the same test partition — the serving
+    // shape: each record participates in several concurrent workloads.
+    let mut workloads = Vec::new();
+    for seed in 0..4 {
+        workloads.extend(batch_workloads(&ctx.test, 10, seed, LabelMode::Sum));
+    }
+
+    let mut group = c.benchmark_group("batched_inference");
+    group.bench_function("memoized_trait_path", |b| {
+        b.iter(|| predictor.predict_workloads(&ctx.test, &workloads).expect("prediction"))
+    });
+    group.bench_function("naive_per_workload", |b| {
+        b.iter(|| {
+            workloads
+                .iter()
+                .map(|w| {
+                    let queries: Vec<&QueryRecord> =
+                        w.query_indices.iter().map(|&i| ctx.test[i]).collect();
+                    predictor.predict_workload(&queries).expect("prediction")
+                })
+                .collect::<Vec<f64>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_inference);
+criterion_main!(benches);

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use learnedwmp_core::{
-    EvalConfig, EvalContext, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
-    SingleWmp,
+    EvalConfig, EvalContext, LearnedWmp, ModelKind, SingleWmp, TemplateSpec, WorkloadPredictor,
 };
 use wmp_workloads::QueryRecord;
 
@@ -15,20 +14,19 @@ fn bench_inference(c: &mut Criterion) {
     let workload: Vec<&QueryRecord> = ctx.test[..10].to_vec();
     let mut group = c.benchmark_group("fig7_inference");
     for kind in [ModelKind::Ridge, ModelKind::Xgb] {
-        let learned = LearnedWmp::train(
-            LearnedWmpConfig { model: kind, ..Default::default() },
-            Box::new(PlanKMeansTemplates::new(40, 42)),
-            &ctx.train,
-            &log.catalog,
-        )
-        .expect("training");
+        let learned = LearnedWmp::builder()
+            .model(kind)
+            .templates(TemplateSpec::PlanKMeans { k: 40, seed: 42 })
+            .fit_refs(&ctx.train, &log.catalog)
+            .expect("training");
         let single = SingleWmp::train(kind, &ctx.train).expect("training");
-        group.bench_function(format!("learnedwmp_{}", kind.label()), |b| {
-            b.iter(|| learned.predict_workload(&workload).expect("prediction"))
-        });
-        group.bench_function(format!("singlewmp_{}", kind.label()), |b| {
-            b.iter(|| single.predict_workload(&workload).expect("prediction"))
-        });
+        let predictors: [(&str, &dyn WorkloadPredictor); 2] =
+            [("learnedwmp", &learned), ("singlewmp", &single)];
+        for (label, p) in predictors {
+            group.bench_function(format!("{label}_{}", kind.label()), |b| {
+                b.iter(|| p.predict_workload(&workload).expect("prediction"))
+            });
+        }
     }
     group.finish();
 }

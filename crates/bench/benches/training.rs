@@ -3,10 +3,7 @@
 //! measurement, large enough to show the ~s× training-row advantage.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use learnedwmp_core::{
-    EvalConfig, EvalContext, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
-    SingleWmp,
-};
+use learnedwmp_core::{EvalConfig, EvalContext, LearnedWmp, ModelKind, SingleWmp, TemplateSpec};
 
 fn bench_training(c: &mut Criterion) {
     let log = wmp_workloads::job::generate(2_300, 2).expect("job generation");
@@ -16,16 +13,12 @@ fn bench_training(c: &mut Criterion) {
     for kind in [ModelKind::Ridge, ModelKind::Dt, ModelKind::Xgb] {
         group.bench_function(format!("learnedwmp_{}", kind.label()), |b| {
             b.iter_batched(
-                || Box::new(PlanKMeansTemplates::new(40, 42)),
-                |templates| {
-                    LearnedWmp::train(
-                        LearnedWmpConfig { model: kind, ..Default::default() },
-                        templates,
-                        &ctx.train,
-                        &log.catalog,
-                    )
-                    .expect("training")
+                || {
+                    LearnedWmp::builder()
+                        .model(kind)
+                        .templates(TemplateSpec::PlanKMeans { k: 40, seed: 42 })
                 },
+                |builder| builder.fit_refs(&ctx.train, &log.catalog).expect("training"),
                 BatchSize::LargeInput,
             )
         });

@@ -10,8 +10,8 @@
 //! All ablations run LearnedWMP-XGB on TPC-DS.
 
 use learnedwmp_core::{
-    DbscanTemplates, EvalConfig, EvalContext, HistogramMode, LabelMode, LearnedWmp,
-    LearnedWmpConfig, ModelKind, PlanKMeansTemplates, TemplateLearner,
+    EvalConfig, EvalContext, HistogramMode, LabelMode, LearnedWmp, ModelKind, TemplateSpec,
+    WorkloadPredictor,
 };
 use wmp_bench::{print_table, Benchmarks, Options};
 use wmp_mlkit::metrics::{mape, rmse};
@@ -22,24 +22,21 @@ fn eval_learned_with(
     cfg: &EvalConfig,
     label_mode: LabelMode,
     histogram_mode: HistogramMode,
-    templates: Box<dyn TemplateLearner>,
+    templates: TemplateSpec,
 ) -> (f64, f64) {
     let cfg = EvalConfig { label_mode, histogram_mode, ..cfg.clone() };
     let ctx = EvalContext::new(log, cfg.clone());
-    let wmp = LearnedWmp::train(
-        LearnedWmpConfig {
-            model: ModelKind::Xgb,
-            batch_size: cfg.batch_size,
-            label_mode,
-            histogram_mode,
-            seed: cfg.seed,
-        },
-        templates,
-        &ctx.train,
-        &log.catalog,
-    )
-    .expect("training");
-    let preds = wmp.predict_workloads(&ctx.test, &ctx.test_workloads).expect("prediction");
+    let wmp = LearnedWmp::builder()
+        .model(ModelKind::Xgb)
+        .templates(templates)
+        .batch_size(cfg.batch_size)
+        .label_mode(label_mode)
+        .histogram_mode(histogram_mode)
+        .seed(cfg.seed)
+        .fit_refs(&ctx.train, &log.catalog)
+        .expect("training");
+    let predictor: &dyn WorkloadPredictor = &wmp;
+    let preds = predictor.predict_workloads(&ctx.test, &ctx.test_workloads).expect("prediction");
     (rmse(&ctx.y_test, &preds).expect("rmse"), mape(&ctx.y_test, &preds).expect("mape"))
 }
 
@@ -69,7 +66,7 @@ fn main() {
         benches.datasets().into_iter().find(|(n, _, _)| *n == "TPC-DS").expect("TPC-DS");
     let k = cfg.k_templates;
     let seed = cfg.seed;
-    let km = || Box::new(PlanKMeansTemplates::new(k, seed)) as Box<dyn TemplateLearner>;
+    let km = || TemplateSpec::PlanKMeans { k, seed };
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut push = |name: &str, (rmse, mape): (f64, f64)| {
         rows.push(vec![name.to_string(), format!("{rmse:.1}"), format!("{mape:.1}")]);
@@ -105,7 +102,7 @@ fn main() {
             &cfg,
             LabelMode::Sum,
             HistogramMode::Counts,
-            Box::new(DbscanTemplates::new(1.0, 5)),
+            TemplateSpec::Dbscan { eps: 1.0, min_pts: 5 },
         ),
     );
     // 4. Feature set.

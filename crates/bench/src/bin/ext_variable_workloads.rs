@@ -5,8 +5,8 @@
 //! fixed-s=10 pipeline and against auto-selected k (elbow method).
 
 use learnedwmp_core::{
-    batch_workloads_variable, EvalContext, LabelMode, LearnedWmp, LearnedWmpConfig, ModelKind,
-    PlanKMeansTemplates,
+    batch_workloads_variable, EvalContext, LabelMode, LearnedWmp, ModelKind, PlanKMeansTemplates,
+    TemplateSpec, WorkloadPredictor,
 };
 use wmp_bench::{print_table, Benchmarks, Options};
 use wmp_mlkit::metrics::{mape, rmse};
@@ -22,54 +22,35 @@ fn main() {
     let test_ws = batch_workloads_variable(&ctx.test, 5, 15, 99, LabelMode::Sum);
     let y: Vec<f64> = test_ws.iter().map(|w| w.y).collect();
 
+    let builder = |k: usize| {
+        LearnedWmp::builder()
+            .model(ModelKind::Xgb)
+            .templates(TemplateSpec::PlanKMeans { k, seed: cfg.seed })
+            .batch_size(cfg.batch_size)
+            .seed(cfg.seed)
+    };
+
     // Fixed-length training (the paper's design).
-    let fixed = LearnedWmp::train(
-        LearnedWmpConfig {
-            model: ModelKind::Xgb,
-            batch_size: cfg.batch_size,
-            seed: cfg.seed,
-            ..Default::default()
-        },
-        Box::new(PlanKMeansTemplates::new(cfg.k_templates, cfg.seed)),
-        &ctx.train,
-        &log.catalog,
-    )
-    .expect("fixed training");
+    let fixed = builder(cfg.k_templates).fit_refs(&ctx.train, &log.catalog).expect("fixed");
 
     // Variable-length training (the extension).
     let train_ws = batch_workloads_variable(&ctx.train, 5, 15, cfg.seed, LabelMode::Sum);
-    let variable = LearnedWmp::train_with_workloads(
-        LearnedWmpConfig {
-            model: ModelKind::Xgb,
-            batch_size: cfg.batch_size,
-            seed: cfg.seed,
-            ..Default::default()
-        },
-        Box::new(PlanKMeansTemplates::new(cfg.k_templates, cfg.seed)),
-        &ctx.train,
-        &log.catalog,
-        train_ws,
-    )
-    .expect("variable training");
+    let variable = builder(cfg.k_templates)
+        .fit_workloads(&ctx.train, &log.catalog, train_ws)
+        .expect("variable training");
 
     // Elbow-selected k as a third point.
     let auto_k = PlanKMeansTemplates::auto_k(&ctx.train, &[10, 20, 40, 60, 80, 100], cfg.seed)
         .expect("auto k");
-    let auto = LearnedWmp::train_with_workloads(
-        LearnedWmpConfig {
-            model: ModelKind::Xgb,
-            batch_size: cfg.batch_size,
-            seed: cfg.seed,
-            ..Default::default()
-        },
-        Box::new(PlanKMeansTemplates::new(auto_k, cfg.seed)),
-        &ctx.train,
-        &log.catalog,
-        batch_workloads_variable(&ctx.train, 5, 15, cfg.seed, LabelMode::Sum),
-    )
-    .expect("auto-k training");
+    let auto = builder(auto_k)
+        .fit_workloads(
+            &ctx.train,
+            &log.catalog,
+            batch_workloads_variable(&ctx.train, 5, 15, cfg.seed, LabelMode::Sum),
+        )
+        .expect("auto-k training");
 
-    let eval = |m: &LearnedWmp| -> (f64, f64) {
+    let eval = |m: &dyn WorkloadPredictor| -> (f64, f64) {
         let preds = m.predict_workloads(&ctx.test, &test_ws).expect("prediction");
         (rmse(&y, &preds).expect("rmse"), mape(&y, &preds).expect("mape"))
     };

@@ -4,8 +4,7 @@
 //! comparison as a bonus row.
 
 use learnedwmp_core::{
-    DbscanTemplates, EvalContext, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
-    RuleBasedTemplates, TemplateLearner, TextMode, TextTemplates,
+    EvalContext, LearnedWmp, ModelKind, TemplateSpec, TextMode, WorkloadPredictor,
 };
 use wmp_bench::{print_table, Benchmarks, Options};
 use wmp_mlkit::metrics::{mape, rmse};
@@ -18,33 +17,29 @@ fn main() {
     let k = cfg.k_templates;
     let seed = cfg.seed;
     let ctx = EvalContext::new(log, cfg.clone());
-    let learners: Vec<Box<dyn TemplateLearner>> = vec![
-        Box::new(PlanKMeansTemplates::new(k, seed)),
-        Box::new(RuleBasedTemplates::new()),
-        Box::new(TextTemplates::new(TextMode::BagOfWords, k, seed)),
-        Box::new(TextTemplates::new(TextMode::TextMining, k, seed)),
-        Box::new(TextTemplates::new(TextMode::Embedding, k, seed)),
-        Box::new(DbscanTemplates::new(1.0, 5)),
+    let specs = [
+        TemplateSpec::PlanKMeans { k, seed },
+        TemplateSpec::RuleBased,
+        TemplateSpec::Text { mode: TextMode::BagOfWords, k, seed },
+        TemplateSpec::Text { mode: TextMode::TextMining, k, seed },
+        TemplateSpec::Text { mode: TextMode::Embedding, k, seed },
+        TemplateSpec::Dbscan { eps: 1.0, min_pts: 5 },
     ];
     println!("\nFig. 9 ({name}): LearnedWMP-XGB accuracy by template-learning method");
     let mut rows = Vec::new();
-    for learner in learners {
-        let label = learner.name().to_string();
-        let wmp = LearnedWmp::train(
-            LearnedWmpConfig {
-                model: ModelKind::Xgb,
-                batch_size: cfg.batch_size,
-                seed,
-                ..LearnedWmpConfig::default()
-            },
-            learner,
-            &ctx.train,
-            &log.catalog,
-        )
-        .expect("training");
-        let preds = wmp.predict_workloads(&ctx.test, &ctx.test_workloads).expect("prediction");
+    for spec in specs {
+        let wmp = LearnedWmp::builder()
+            .model(ModelKind::Xgb)
+            .templates(spec)
+            .batch_size(cfg.batch_size)
+            .seed(seed)
+            .fit_refs(&ctx.train, &log.catalog)
+            .expect("training");
+        let predictor: &dyn WorkloadPredictor = &wmp;
+        let preds =
+            predictor.predict_workloads(&ctx.test, &ctx.test_workloads).expect("prediction");
         rows.push(vec![
-            label,
+            wmp.templates().name().to_string(),
             format!("{}", wmp.templates().n_templates()),
             format!("{:.1}", rmse(&ctx.y_test, &preds).expect("rmse")),
             format!("{:.1}", mape(&ctx.y_test, &preds).expect("mape")),

@@ -9,11 +9,12 @@ use wmp_mlkit::metrics::{mape, residuals, rmse, ResidualSummary};
 use wmp_mlkit::MlResult;
 use wmp_workloads::{QueryLog, QueryRecord};
 
+use crate::builder::TemplateSpec;
 use crate::histogram::HistogramMode;
-use crate::learned::{LearnedWmp, LearnedWmpConfig};
+use crate::learned::LearnedWmp;
 use crate::model::ModelKind;
+use crate::predictor::WorkloadPredictor;
 use crate::single::{SingleWmp, SingleWmpDbms};
-use crate::template::PlanKMeansTemplates;
 use crate::workload::{batch_workloads, LabelMode, Workload};
 
 /// Evaluation protocol parameters.
@@ -140,25 +141,44 @@ impl<'a> EvalContext<'a> {
         EvalContext { log, config, train, test, test_workloads, y_test }
     }
 
+    /// Evaluates any predictor — accuracy, timed batched inference, and
+    /// model size all flow through the [`WorkloadPredictor`] trait, so every
+    /// family (and future ones) is measured by identical code.
+    ///
+    /// `approach`/`model` label the report row; `train_ms`/`total_train_ms`
+    /// are training facts the trait deliberately does not expose.
+    ///
+    /// # Errors
+    /// Propagates prediction and metric errors.
+    pub fn evaluate_predictor(
+        &self,
+        predictor: &dyn WorkloadPredictor,
+        approach: &'static str,
+        model: String,
+        train_ms: f64,
+        total_train_ms: f64,
+    ) -> MlResult<ModelReport> {
+        let t0 = Instant::now();
+        let preds = predictor.predict_workloads(&self.test, &self.test_workloads)?;
+        let infer_us = t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
+        report_from_predictions(
+            approach,
+            model,
+            &self.y_test,
+            &preds,
+            train_ms,
+            total_train_ms,
+            infer_us,
+            predictor.footprint_bytes() as f64 / 1024.0,
+        )
+    }
+
     /// Evaluates the SingleWMP-DBMS heuristic baseline.
     ///
     /// # Errors
     /// Propagates metric errors (e.g. empty test set).
     pub fn evaluate_dbms(&self) -> MlResult<ModelReport> {
-        let dbms = SingleWmpDbms;
-        let t0 = Instant::now();
-        let preds = dbms.predict_workloads(&self.test, &self.test_workloads);
-        let infer_us = t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
-        report_from_predictions(
-            "SingleWMP-DBMS",
-            "heuristic".to_string(),
-            &self.y_test,
-            &preds,
-            0.0,
-            0.0,
-            infer_us,
-            0.0,
-        )
+        self.evaluate_predictor(&SingleWmpDbms, "SingleWMP-DBMS", "heuristic".to_string(), 0.0, 0.0)
     }
 
     /// Trains and evaluates a LearnedWMP variant with plan-k-means templates.
@@ -166,32 +186,23 @@ impl<'a> EvalContext<'a> {
     /// # Errors
     /// Propagates training/prediction errors.
     pub fn evaluate_learned(&self, model: ModelKind) -> MlResult<ModelReport> {
-        let templates =
-            Box::new(PlanKMeansTemplates::new(self.config.k_templates, self.config.seed));
-        let wmp = LearnedWmp::train(
-            LearnedWmpConfig {
-                model,
-                batch_size: self.config.batch_size,
-                label_mode: self.config.label_mode,
-                histogram_mode: self.config.histogram_mode,
+        let wmp = LearnedWmp::builder()
+            .model(model)
+            .templates(TemplateSpec::PlanKMeans {
+                k: self.config.k_templates,
                 seed: self.config.seed,
-            },
-            templates,
-            &self.train,
-            &self.log.catalog,
-        )?;
-        let t0 = Instant::now();
-        let preds = wmp.predict_workloads(&self.test, &self.test_workloads)?;
-        let infer_us = t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
-        report_from_predictions(
+            })
+            .batch_size(self.config.batch_size)
+            .label_mode(self.config.label_mode)
+            .histogram_mode(self.config.histogram_mode)
+            .seed(self.config.seed)
+            .fit_refs(&self.train, &self.log.catalog)?;
+        self.evaluate_predictor(
+            &wmp,
             "LearnedWMP",
             model.label().to_string(),
-            &self.y_test,
-            &preds,
             wmp.timings.fit_ms,
             wmp.timings.total_ms(),
-            infer_us,
-            wmp.footprint_bytes() as f64 / 1024.0,
         )
     }
 
@@ -201,19 +212,7 @@ impl<'a> EvalContext<'a> {
     /// Propagates training/prediction errors.
     pub fn evaluate_single(&self, model: ModelKind) -> MlResult<ModelReport> {
         let m = SingleWmp::train(model, &self.train)?;
-        let t0 = Instant::now();
-        let preds = m.predict_workloads(&self.test, &self.test_workloads)?;
-        let infer_us = t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
-        report_from_predictions(
-            "SingleWMP",
-            m.model().label().to_string(),
-            &self.y_test,
-            &preds,
-            m.fit_ms,
-            m.fit_ms,
-            infer_us,
-            m.footprint_bytes() as f64 / 1024.0,
-        )
+        self.evaluate_predictor(&m, "SingleWMP", m.model().label().to_string(), m.fit_ms, m.fit_ms)
     }
 
     /// Full benchmark sweep: DBMS baseline + every learner under both

@@ -68,43 +68,87 @@ pub struct LearnedWmp {
     pub n_train_workloads: usize,
 }
 
+impl std::fmt::Debug for LearnedWmp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LearnedWmp")
+            .field("config", &self.config)
+            .field("templates", &self.templates.name())
+            .field("regressor", &self.regressor.name())
+            .field("n_train_workloads", &self.n_train_workloads)
+            .field("timings", &self.timings)
+            .finish()
+    }
+}
+
 impl LearnedWmp {
+    /// Starts a validated, fluent construction of a LearnedWMP model — the
+    /// recommended way to train:
+    ///
+    /// ```
+    /// use learnedwmp_core::{LearnedWmp, ModelKind, TemplateSpec};
+    /// let log = wmp_workloads::tpcc::generate(200, 1).unwrap();
+    /// let model = LearnedWmp::builder()
+    ///     .model(ModelKind::Ridge)
+    ///     .templates(TemplateSpec::PlanKMeans { k: 8, seed: 42 })
+    ///     .fit(&log)
+    ///     .unwrap();
+    /// # let _ = model;
+    /// ```
+    pub fn builder() -> crate::builder::LearnedWmpBuilder {
+        crate::builder::LearnedWmpBuilder::new()
+    }
+
     /// Trains the full pipeline (TR3–TR6) on a training log.
     ///
     /// # Errors
     /// Propagates template-learning and regression errors; fails on an empty
     /// training set or when fewer than one full workload can be formed.
+    #[deprecated(since = "0.2.0", note = "use `LearnedWmp::builder()` instead")]
     pub fn train(
         config: LearnedWmpConfig,
         templates: Box<dyn TemplateLearner>,
         records: &[&QueryRecord],
         catalog: &Catalog,
     ) -> MlResult<Self> {
-        let workloads = if records.is_empty() {
-            Vec::new()
-        } else {
-            batch_workloads(records, config.batch_size, config.seed, config.label_mode)
-        };
-        Self::train_with_workloads(config, templates, records, catalog, workloads)
+        Self::fit_impl(config, templates, records, catalog, None)
     }
 
-    /// Trains on pre-built workloads — supports the variable-length-workload
-    /// extension (§I: "the design can easily be extended to work with
-    /// variable-length workloads"): pass batches from
-    /// [`crate::workload::batch_workloads_variable`].
+    /// Trains on pre-built workloads.
     ///
     /// # Errors
     /// Same conditions as [`LearnedWmp::train`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `LearnedWmp::builder()...fit_workloads(...)` instead"
+    )]
     pub fn train_with_workloads(
         config: LearnedWmpConfig,
-        mut templates: Box<dyn TemplateLearner>,
+        templates: Box<dyn TemplateLearner>,
         records: &[&QueryRecord],
         catalog: &Catalog,
         workloads: Vec<crate::workload::Workload>,
     ) -> MlResult<Self> {
+        Self::fit_impl(config, templates, records, catalog, Some(workloads))
+    }
+
+    /// The shared training pipeline behind the builder (TR3–TR6). When
+    /// `workloads` is `None`, fixed-size batches are drawn from the config;
+    /// `Some` supports the variable-length-workload extension (§I: "the
+    /// design can easily be extended to work with variable-length
+    /// workloads") via [`crate::workload::batch_workloads_variable`].
+    pub(crate) fn fit_impl(
+        config: LearnedWmpConfig,
+        mut templates: Box<dyn TemplateLearner>,
+        records: &[&QueryRecord],
+        catalog: &Catalog,
+        workloads: Option<Vec<crate::workload::Workload>>,
+    ) -> MlResult<Self> {
         if records.is_empty() {
             return Err(MlError::EmptyInput("LearnedWmp::train"));
         }
+        let workloads = workloads.unwrap_or_else(|| {
+            batch_workloads(records, config.batch_size, config.seed, config.label_mode)
+        });
         // TR3: learn templates.
         let t0 = Instant::now();
         templates.fit(records, catalog)?;
@@ -162,6 +206,12 @@ impl LearnedWmp {
 
     /// Predicts every workload in a batched test set (indices into `records`).
     ///
+    /// Each distinct record is assigned to its template exactly once
+    /// (memoized by index), so overlapping workloads — and the common case
+    /// where every record appears in some workload — never re-run IN3 per
+    /// membership. This is the batched-inference hot path behind the
+    /// [`crate::predictor::WorkloadPredictor`] trait.
+    ///
     /// # Errors
     /// Propagates per-workload errors.
     pub fn predict_workloads(
@@ -169,14 +219,27 @@ impl LearnedWmp {
         records: &[&QueryRecord],
         workloads: &[Workload],
     ) -> MlResult<Vec<f64>> {
-        workloads
-            .iter()
-            .map(|w| {
-                let queries: Vec<&QueryRecord> =
-                    w.query_indices.iter().map(|&i| records[i]).collect();
-                self.predict_workload(&queries)
-            })
-            .collect()
+        let mut assignments: Vec<Option<usize>> = vec![None; records.len()];
+        let k = self.templates.n_templates();
+        let mut preds = Vec::with_capacity(workloads.len());
+        let mut member = Vec::new();
+        for w in workloads {
+            member.clear();
+            for &i in &w.query_indices {
+                let a = match assignments[i] {
+                    Some(a) => a,
+                    None => {
+                        let a = self.templates.assign(records[i])?;
+                        assignments[i] = Some(a);
+                        a
+                    }
+                };
+                member.push(a);
+            }
+            let h = build_histogram(&member, k, self.config.histogram_mode);
+            preds.push(self.regressor.predict_row(&h)?);
+        }
+        Ok(preds)
     }
 
     /// The trained distribution regressor.
@@ -198,23 +261,30 @@ impl LearnedWmp {
     pub fn config(&self) -> &LearnedWmpConfig {
         &self.config
     }
+
+    /// Reassembles a model from persisted parts (the codec's loader).
+    pub(crate) fn from_parts(
+        config: LearnedWmpConfig,
+        templates: Box<dyn TemplateLearner>,
+        regressor: Box<dyn Regressor>,
+        timings: TrainTimings,
+        n_train_workloads: usize,
+    ) -> Self {
+        LearnedWmp { config, templates, regressor, timings, n_train_workloads }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::template::PlanKMeansTemplates;
 
     fn trained(model: ModelKind) -> (wmp_workloads::QueryLog, LearnedWmp) {
         let log = wmp_workloads::tpcc::generate(600, 9).unwrap();
-        let refs: Vec<&QueryRecord> = log.records.iter().collect();
-        let wmp = LearnedWmp::train(
-            LearnedWmpConfig { model, ..LearnedWmpConfig::default() },
-            Box::new(PlanKMeansTemplates::new(10, 1)),
-            &refs,
-            &log.catalog,
-        )
-        .unwrap();
+        let wmp = LearnedWmp::builder()
+            .model(model)
+            .templates(crate::builder::TemplateSpec::PlanKMeans { k: 10, seed: 1 })
+            .fit(&log)
+            .unwrap();
         (log, wmp)
     }
 
@@ -274,19 +344,15 @@ mod tests {
         let log = wmp_workloads::tpcc::generate(20, 9).unwrap();
         let refs: Vec<&QueryRecord> = log.records.iter().collect();
         let empty: Vec<&QueryRecord> = Vec::new();
-        assert!(LearnedWmp::train(
-            LearnedWmpConfig::default(),
-            Box::new(PlanKMeansTemplates::new(4, 0)),
-            &empty,
-            &log.catalog,
-        )
-        .is_err());
-        assert!(LearnedWmp::train(
-            LearnedWmpConfig { batch_size: 100, ..LearnedWmpConfig::default() },
-            Box::new(PlanKMeansTemplates::new(4, 0)),
-            &refs,
-            &log.catalog,
-        )
-        .is_err());
+        let spec = crate::builder::TemplateSpec::PlanKMeans { k: 4, seed: 0 };
+        assert!(LearnedWmp::builder()
+            .templates(spec.clone())
+            .fit_refs(&empty, &log.catalog)
+            .is_err());
+        assert!(LearnedWmp::builder()
+            .templates(spec)
+            .batch_size(100)
+            .fit_refs(&refs, &log.catalog)
+            .is_err());
     }
 }

@@ -12,29 +12,40 @@
 //! - [`histogram`] — TR5: workload histograms (Algorithm 2);
 //! - [`model`] — the five learner families (DNN/Ridge/DT/RF/XGB);
 //! - [`learned`] — TR6 + IN1–IN5: the LearnedWMP model;
+//! - [`builder`] — validated, fluent construction ([`LearnedWmp::builder`]);
 //! - [`single`] — the SingleWMP baselines (ML per-query sums and the DBMS
 //!   heuristic);
+//! - [`predictor`] — the [`WorkloadPredictor`] trait every family serves
+//!   through;
+//! - [`codec`] — versioned binary persistence (`save_to` / `load_from`);
+//! - [`online`] — the deployment loop: warm-start from a shipped artifact,
+//!   observe, retrain;
 //! - [`eval`] — the measurement harness behind Figs. 4–8;
 //! - [`config`] — paper-scale experiment configuration.
 
 #![warn(missing_docs)]
 
+pub mod builder;
+pub mod codec;
 pub mod config;
 pub mod eval;
 pub mod histogram;
 pub mod learned;
 pub mod model;
 pub mod online;
+pub mod predictor;
 pub mod single;
 pub mod template;
 pub mod workload;
 
+pub use builder::{LearnedWmpBuilder, TemplateSpec};
 pub use config::{DatasetConfig, ExperimentConfig};
 pub use eval::{EvalConfig, EvalContext, ModelReport};
 pub use histogram::{build_histogram, HistogramMode};
 pub use learned::{LearnedWmp, LearnedWmpConfig, TrainTimings};
 pub use model::{Approach, ModelKind};
-pub use online::{OnlinePolicy, OnlineWmp};
+pub use online::{OnlinePolicy, OnlineWmp, RetrainOutcome};
+pub use predictor::WorkloadPredictor;
 pub use single::{SingleWmp, SingleWmpDbms};
 pub use template::{
     DbscanTemplates, PlanKMeansTemplates, RuleBasedTemplates, TemplateLearner, TextMode,

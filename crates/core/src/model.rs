@@ -39,6 +39,23 @@ impl ModelKind {
     pub const ALL: [ModelKind; 5] =
         [ModelKind::Dnn, ModelKind::Ridge, ModelKind::Dt, ModelKind::Rf, ModelKind::Xgb];
 
+    /// Stable one-byte code used by the model codec. Codes are append-only:
+    /// existing values must never be reassigned across releases.
+    pub fn code(self) -> u8 {
+        match self {
+            ModelKind::Dnn => 0,
+            ModelKind::Ridge => 1,
+            ModelKind::Dt => 2,
+            ModelKind::Rf => 3,
+            ModelKind::Xgb => 4,
+        }
+    }
+
+    /// Inverse of [`ModelKind::code`].
+    pub fn from_code(code: u8) -> Option<ModelKind> {
+        ModelKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+
     /// Display label used in figures ("DNN", "Ridge", ...).
     pub fn label(self) -> &'static str {
         match self {

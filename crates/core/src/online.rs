@@ -10,6 +10,32 @@ use wmp_workloads::QueryRecord;
 use crate::learned::{LearnedWmp, LearnedWmpConfig};
 use crate::template::{PlanKMeansTemplates, TemplateLearner};
 
+/// What one [`OnlineWmp::observe`] call did with the observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainOutcome {
+    /// The query was buffered; `seen` observations have accumulated since
+    /// the last (re)training.
+    Buffered {
+        /// Observations since the last (re)training.
+        seen: usize,
+    },
+    /// The observation triggered retraining pass number `pass` over a
+    /// window of `window_len` queries.
+    Retrained {
+        /// 1-based retraining pass count.
+        pass: usize,
+        /// Queries in the window the model was retrained on.
+        window_len: usize,
+    },
+}
+
+impl RetrainOutcome {
+    /// True when the observation triggered a retraining pass.
+    pub fn retrained(&self) -> bool {
+        matches!(self, RetrainOutcome::Retrained { .. })
+    }
+}
+
 /// Retraining policy for [`OnlineWmp`].
 #[derive(Debug, Clone)]
 pub struct OnlinePolicy {
@@ -53,12 +79,24 @@ impl OnlineWmp {
         }
     }
 
-    /// Ingests one executed query (the DBMS query-log hook). Returns `true`
-    /// when the observation triggered a retrain.
+    /// Seeds the loop with an already-trained model — typically one
+    /// reloaded from a shipped artifact via [`LearnedWmp::load_from`] — so
+    /// predictions are available immediately instead of only after the
+    /// first `retrain_every` observations. The model's own training
+    /// configuration is adopted so subsequent retrains stay consistent with
+    /// the artifact.
+    pub fn warm_start(&mut self, model: LearnedWmp) {
+        self.config = model.config().clone();
+        self.model = Some(model);
+        self.since_train = 0;
+    }
+
+    /// Ingests one executed query (the DBMS query-log hook) and reports
+    /// whether it triggered a retraining pass.
     ///
     /// # Errors
     /// Propagates retraining errors.
-    pub fn observe(&mut self, record: QueryRecord, catalog: &Catalog) -> MlResult<bool> {
+    pub fn observe(&mut self, record: QueryRecord, catalog: &Catalog) -> MlResult<RetrainOutcome> {
         self.buffer.push(record);
         if self.buffer.len() > self.policy.window {
             let drop = self.buffer.len() - self.policy.window;
@@ -69,9 +107,12 @@ impl OnlineWmp {
             && self.buffer.len() >= self.config.batch_size
         {
             self.retrain(catalog)?;
-            return Ok(true);
+            return Ok(RetrainOutcome::Retrained {
+                pass: self.retrain_count,
+                window_len: self.buffer.len(),
+            });
         }
-        Ok(false)
+        Ok(RetrainOutcome::Buffered { seen: self.since_train })
     }
 
     /// Forces a retraining pass over the current window.
@@ -84,7 +125,8 @@ impl OnlineWmp {
             self.policy.k_templates,
             self.config.seed ^ self.retrain_count as u64,
         ));
-        self.model = Some(LearnedWmp::train(self.config.clone(), templates, &refs, catalog)?);
+        self.model =
+            Some(LearnedWmp::fit_impl(self.config.clone(), templates, &refs, catalog, None)?);
         self.since_train = 0;
         self.retrain_count += 1;
         Ok(())
@@ -139,7 +181,7 @@ mod tests {
         assert!(matches!(online.predict_workload(&probe), Err(MlError::NotFitted(_))));
         let mut retrains = 0;
         for r in &log.records {
-            if online.observe(r.clone(), &log.catalog).unwrap() {
+            if online.observe(r.clone(), &log.catalog).unwrap().retrained() {
                 retrains += 1;
             }
         }
@@ -211,6 +253,69 @@ mod tests {
         assert!(
             fresh < stale,
             "retrained MAPE ({fresh:.1}%) must beat the stale model ({stale:.1}%)"
+        );
+    }
+
+    #[test]
+    fn observe_reports_typed_outcomes() {
+        let log = wmp_workloads::tpcc::generate(120, 4).unwrap();
+        let mut online = OnlineWmp::new(config(), policy(100, 1000));
+        for (i, r) in log.records.iter().enumerate() {
+            let outcome = online.observe(r.clone(), &log.catalog).unwrap();
+            match outcome {
+                RetrainOutcome::Buffered { seen } => {
+                    assert_eq!(seen, (i % 100) + 1);
+                    assert!(!outcome.retrained());
+                }
+                RetrainOutcome::Retrained { pass, window_len } => {
+                    assert_eq!(i, 99, "retrain fires exactly at retrain_every");
+                    assert_eq!(pass, 1);
+                    assert_eq!(window_len, 100);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_predicts_immediately_and_adopts_the_model_config() {
+        let log = wmp_workloads::tpcc::generate(300, 8).unwrap();
+        let pre_trained = LearnedWmp::builder()
+            .model(ModelKind::Ridge)
+            .templates(crate::builder::TemplateSpec::PlanKMeans { k: 8, seed: 3 })
+            .fit(&log)
+            .unwrap();
+        let probe: Vec<&QueryRecord> = log.records[..10].iter().collect();
+        let expected = pre_trained.predict_workload(&probe).unwrap();
+
+        let mut online = OnlineWmp::new(config(), policy(1_000, 2_000));
+        assert!(online.predict_workload(&probe).is_err(), "cold model cannot predict");
+        online.warm_start(pre_trained);
+        assert_eq!(
+            online.predict_workload(&probe).unwrap().to_bits(),
+            expected.to_bits(),
+            "warm-started predictions come from the seeded model"
+        );
+        // The seeded model's config takes over for future retrains.
+        assert_eq!(online.retrain_count(), 0);
+    }
+
+    #[test]
+    fn warm_start_from_a_persisted_artifact() {
+        let log = wmp_workloads::tpcc::generate(300, 12).unwrap();
+        let trained = LearnedWmp::builder()
+            .model(ModelKind::Xgb)
+            .templates(crate::builder::TemplateSpec::PlanKMeans { k: 8, seed: 5 })
+            .fit(&log)
+            .unwrap();
+        let mut artifact = Vec::new();
+        trained.save_to_writer(&mut artifact).unwrap();
+
+        let mut online = OnlineWmp::new(config(), policy(10_000, 20_000));
+        online.warm_start(LearnedWmp::load_from_reader(&mut artifact.as_slice()).unwrap());
+        let probe: Vec<&QueryRecord> = log.records[..10].iter().collect();
+        assert_eq!(
+            online.predict_workload(&probe).unwrap().to_bits(),
+            trained.predict_workload(&probe).unwrap().to_bits()
         );
     }
 

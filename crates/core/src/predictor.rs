@@ -1,0 +1,210 @@
+//! The unified serving surface: every predictor family — [`LearnedWmp`], the
+//! [`SingleWmp`] ML baselines, the [`SingleWmpDbms`] heuristic, and the
+//! self-retraining [`OnlineWmp`] — answers workload-memory questions through
+//! one [`WorkloadPredictor`] trait.
+//!
+//! This is the interface a serving daemon, the evaluation harness, and the
+//! figure binaries program against: hold a `Box<dyn WorkloadPredictor>` (or a
+//! `&dyn WorkloadPredictor`), call [`WorkloadPredictor::predict_workload`]
+//! per arriving batch, and report [`WorkloadPredictor::name`] /
+//! [`WorkloadPredictor::footprint_bytes`] in dashboards — without
+//! special-casing the model family at any call site.
+
+use wmp_mlkit::MlResult;
+use wmp_workloads::QueryRecord;
+
+use crate::learned::LearnedWmp;
+use crate::online::OnlineWmp;
+use crate::single::{SingleWmp, SingleWmpDbms};
+use crate::workload::Workload;
+
+/// A trained (or heuristic) model that predicts the collective working-memory
+/// demand of a workload — the common contract over the paper's three
+/// predictor families (§IV: LearnedWMP, SingleWMP, SingleWMP-DBMS).
+pub trait WorkloadPredictor: Send {
+    /// Stable display name, e.g. `"LearnedWMP-XGB"` or `"SingleWMP-DBMS"`.
+    fn name(&self) -> String;
+
+    /// Predicts the memory demand (MB) of one workload.
+    ///
+    /// # Errors
+    /// Propagates assignment/prediction errors; models that must be trained
+    /// first return [`wmp_mlkit::MlError::NotFitted`].
+    fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64>;
+
+    /// Predicts every workload of a batched test set (indices into
+    /// `records`). Implementations may override this with a batched fast
+    /// path; the default calls [`WorkloadPredictor::predict_workload`] per
+    /// workload.
+    ///
+    /// # Errors
+    /// Propagates per-workload errors.
+    fn predict_workloads(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<f64>> {
+        workloads
+            .iter()
+            .map(|w| {
+                let queries: Vec<&QueryRecord> =
+                    w.query_indices.iter().map(|&i| records[i]).collect();
+                self.predict_workload(&queries)
+            })
+            .collect()
+    }
+
+    /// Size of the learned parameters in bytes (0 for pure heuristics) — the
+    /// quantity behind the paper's Fig. 8.
+    fn footprint_bytes(&self) -> usize;
+}
+
+impl WorkloadPredictor for LearnedWmp {
+    fn name(&self) -> String {
+        format!("LearnedWMP-{}", self.config().model.label())
+    }
+
+    fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
+        LearnedWmp::predict_workload(self, queries)
+    }
+
+    fn predict_workloads(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<f64>> {
+        // The batched path assigns each distinct record to its template once
+        // and reuses the assignment across overlapping workloads.
+        LearnedWmp::predict_workloads(self, records, workloads)
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        LearnedWmp::footprint_bytes(self)
+    }
+}
+
+impl WorkloadPredictor for SingleWmp {
+    fn name(&self) -> String {
+        format!("SingleWMP-{}", self.model().label())
+    }
+
+    fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
+        SingleWmp::predict_workload(self, queries)
+    }
+
+    fn predict_workloads(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<f64>> {
+        SingleWmp::predict_workloads(self, records, workloads)
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        SingleWmp::footprint_bytes(self)
+    }
+}
+
+impl WorkloadPredictor for SingleWmpDbms {
+    fn name(&self) -> String {
+        "SingleWMP-DBMS".to_string()
+    }
+
+    fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
+        Ok(SingleWmpDbms::predict_workload(self, queries))
+    }
+
+    fn predict_workloads(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<f64>> {
+        Ok(SingleWmpDbms::predict_workloads(self, records, workloads))
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl WorkloadPredictor for OnlineWmp {
+    fn name(&self) -> String {
+        match self.model() {
+            Some(m) => format!("Online{}", WorkloadPredictor::name(m)),
+            None => "OnlineWMP-untrained".to_string(),
+        }
+    }
+
+    fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
+        OnlineWmp::predict_workload(self, queries)
+    }
+
+    fn predict_workloads(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<f64>> {
+        match self.model() {
+            Some(m) => LearnedWmp::predict_workloads(m, records, workloads),
+            None => {
+                Err(wmp_mlkit::MlError::NotFitted("OnlineWmp (no retraining has happened yet)"))
+            }
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.model().map_or(0, LearnedWmp::footprint_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TemplateSpec;
+    use crate::model::ModelKind;
+    use crate::workload::{batch_workloads, LabelMode};
+
+    #[test]
+    fn all_families_serve_through_one_trait_object() {
+        let log = wmp_workloads::tpcc::generate(400, 5).unwrap();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let learned = LearnedWmp::builder()
+            .model(ModelKind::Ridge)
+            .templates(TemplateSpec::PlanKMeans { k: 8, seed: 1 })
+            .fit(&log)
+            .unwrap();
+        let single = SingleWmp::train(ModelKind::Ridge, &refs).unwrap();
+        let predictors: Vec<Box<dyn WorkloadPredictor>> =
+            vec![Box::new(learned), Box::new(single), Box::new(SingleWmpDbms)];
+        let ws = batch_workloads(&refs, 10, 3, LabelMode::Sum);
+        for p in &predictors {
+            let one = p.predict_workload(&refs[..10]).unwrap();
+            assert!(one > 0.0, "{}", p.name());
+            let many = p.predict_workloads(&refs, &ws).unwrap();
+            assert_eq!(many.len(), ws.len(), "{}", p.name());
+            assert!(many.iter().all(|v| v.is_finite()), "{}", p.name());
+        }
+        let names: Vec<String> = predictors.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["LearnedWMP-Ridge", "SingleWMP-Ridge", "SingleWMP-DBMS"]);
+        assert_eq!(predictors[2].footprint_bytes(), 0);
+        assert!(predictors[0].footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn batched_trait_path_matches_per_workload_path() {
+        let log = wmp_workloads::tpcc::generate(300, 2).unwrap();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let learned = LearnedWmp::builder()
+            .model(ModelKind::Xgb)
+            .templates(TemplateSpec::PlanKMeans { k: 6, seed: 1 })
+            .fit(&log)
+            .unwrap();
+        let p: &dyn WorkloadPredictor = &learned;
+        let ws = batch_workloads(&refs, 10, 9, LabelMode::Sum);
+        let batched = p.predict_workloads(&refs, &ws).unwrap();
+        for (w, b) in ws.iter().zip(&batched) {
+            let queries: Vec<&QueryRecord> = w.query_indices.iter().map(|&i| refs[i]).collect();
+            assert_eq!(p.predict_workload(&queries).unwrap().to_bits(), b.to_bits());
+        }
+    }
+}

@@ -42,6 +42,21 @@ pub trait TemplateLearner: Send {
 
     /// Stable name used in reports.
     fn name(&self) -> &'static str;
+
+    /// Serializes the fitted state with the [`wmp_mlkit::codec`] primitives
+    /// so a trained learner can be persisted behind the trait object.
+    /// Loading needs the concrete type, so each learner exposes an inherent
+    /// `read_params` constructor; [`crate::codec`] dispatches on a tag.
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure, or by default for custom
+    /// learners that do not support persistence.
+    fn save_params(&self, _w: &mut dyn std::io::Write) -> MlResult<()> {
+        Err(MlError::Codec(format!(
+            "template learner '{}' does not support persistence",
+            self.name()
+        )))
+    }
 }
 
 /// Subsample cap for clustering-based learners: template learning needs a
@@ -94,6 +109,19 @@ impl PlanKMeansTemplates {
         let curve = wmp_mlkit::kmeans::elbow_curve(&xs, candidates, seed)?;
         wmp_mlkit::kmeans::pick_elbow(&curve)
     }
+
+    /// Deserializes a learner written by [`TemplateLearner::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure or truncation.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<Self> {
+        use wmp_mlkit::codec as c;
+        let k = c::read_usize(r)?;
+        let seed = c::read_u64(r)?;
+        let scaler = StandardScaler::read_params(r)?;
+        let kmeans = if c::read_bool(r)? { Some(KMeans::read_params(r)?) } else { None };
+        Ok(PlanKMeansTemplates { k, seed, scaler, kmeans })
+    }
 }
 
 impl TemplateLearner for PlanKMeansTemplates {
@@ -131,6 +159,18 @@ impl TemplateLearner for PlanKMeansTemplates {
     fn name(&self) -> &'static str {
         "query_plan"
     }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use wmp_mlkit::codec as c;
+        c::write_usize(w, self.k)?;
+        c::write_u64(w, self.seed)?;
+        self.scaler.write_params(w)?;
+        c::write_bool(w, self.kmeans.is_some())?;
+        if let Some(km) = &self.kmeans {
+            km.write_params(w)?;
+        }
+        Ok(())
+    }
 }
 
 /// Expert-rule templates: a query's template is determined by structural
@@ -158,6 +198,36 @@ impl RuleBasedTemplates {
             !s.aggregates.is_empty(),
             s.tables.first().map(|t| t.table.clone()).unwrap_or_default(),
         )
+    }
+
+    /// Deserializes a learner written by [`TemplateLearner::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure or truncation.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<Self> {
+        use wmp_mlkit::codec as c;
+        let fitted = c::read_bool(r)?;
+        let n = c::read_len(r, "rule-based templates")?;
+        let mut map = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = (
+                c::read_usize(r)?,
+                c::read_bool(r)?,
+                c::read_bool(r)?,
+                c::read_bool(r)?,
+                c::read_string(r)?,
+            );
+            let template = c::read_usize(r)?;
+            // assign() must stay within 0..n_templates() or the histogram
+            // builder panics — reject out-of-range ids at load time.
+            if template >= n.max(1) {
+                return Err(c::codec_err(format!(
+                    "rule-based template id {template} out of range for {n} rules"
+                )));
+            }
+            map.insert(key, template);
+        }
+        Ok(RuleBasedTemplates { map, fitted })
     }
 }
 
@@ -192,6 +262,24 @@ impl TemplateLearner for RuleBasedTemplates {
     fn name(&self) -> &'static str {
         "rule_based"
     }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use wmp_mlkit::codec as c;
+        c::write_bool(w, self.fitted)?;
+        // Sort entries for a deterministic byte stream.
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort();
+        c::write_usize(w, entries.len())?;
+        for ((tables, grouped, ordered, aggregated, driving), template) in entries {
+            c::write_usize(w, *tables)?;
+            c::write_bool(w, *grouped)?;
+            c::write_bool(w, *ordered)?;
+            c::write_bool(w, *aggregated)?;
+            c::write_string(w, driving)?;
+            c::write_usize(w, *template)?;
+        }
+        Ok(())
+    }
 }
 
 /// Which text featurization a [`TextTemplates`] learner uses.
@@ -211,6 +299,23 @@ impl TextMode {
             TextMode::BagOfWords => "bag_of_words",
             TextMode::TextMining => "text_mining",
             TextMode::Embedding => "word_embeddings",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            TextMode::BagOfWords => 0,
+            TextMode::TextMining => 1,
+            TextMode::Embedding => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> MlResult<Self> {
+        match code {
+            0 => Ok(TextMode::BagOfWords),
+            1 => Ok(TextMode::TextMining),
+            2 => Ok(TextMode::Embedding),
+            other => Err(wmp_mlkit::codec::codec_err(format!("invalid text-mode tag {other}"))),
         }
     }
 }
@@ -240,6 +345,47 @@ impl TextTemplates {
             TextFeaturizer::Counts(v) => Ok(v.vectorize(sql)),
             TextFeaturizer::Embedding(e) => Ok(e.embed(sql)),
         }
+    }
+
+    /// Deserializes a learner written by [`TemplateLearner::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure or truncation.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<Self> {
+        use wmp_mlkit::codec as c;
+        let mode = TextMode::from_code(c::read_u8(r)?)?;
+        let k = c::read_usize(r)?;
+        let seed = c::read_u64(r)?;
+        let featurizer = match c::read_u8(r)? {
+            0 => None,
+            1 => {
+                let n = c::read_len(r, "vectorizer vocabulary")?;
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(c::read_string(r)?);
+                }
+                Some(TextFeaturizer::Counts(Vectorizer::from_vocabulary(names)))
+            }
+            2 => {
+                let n = c::read_len(r, "embedder vocabulary")?;
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(c::read_string(r)?);
+                }
+                let vectors = c::read_matrix(r)?;
+                if vectors.rows() != names.len() {
+                    return Err(c::codec_err(format!(
+                        "embedder has {} tokens but {} vector rows",
+                        names.len(),
+                        vectors.rows()
+                    )));
+                }
+                Some(TextFeaturizer::Embedding(WordEmbedder::from_parts(names, vectors)))
+            }
+            other => return Err(c::codec_err(format!("invalid text featurizer tag {other}"))),
+        };
+        let kmeans = if c::read_bool(r)? { Some(KMeans::read_params(r)?) } else { None };
+        Ok(TextTemplates { k, seed, mode, featurizer, kmeans })
     }
 }
 
@@ -294,6 +440,37 @@ impl TemplateLearner for TextTemplates {
     fn name(&self) -> &'static str {
         self.mode.learner_name()
     }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use wmp_mlkit::codec as c;
+        c::write_u8(w, self.mode.code())?;
+        c::write_usize(w, self.k)?;
+        c::write_u64(w, self.seed)?;
+        match &self.featurizer {
+            None => c::write_u8(w, 0)?,
+            Some(TextFeaturizer::Counts(v)) => {
+                c::write_u8(w, 1)?;
+                c::write_usize(w, v.vocabulary().len())?;
+                for name in v.vocabulary() {
+                    c::write_string(w, name)?;
+                }
+            }
+            Some(TextFeaturizer::Embedding(e)) => {
+                c::write_u8(w, 2)?;
+                let names = e.vocabulary();
+                c::write_usize(w, names.len())?;
+                for name in &names {
+                    c::write_string(w, name)?;
+                }
+                c::write_matrix(w, e.vectors())?;
+            }
+        }
+        c::write_bool(w, self.kmeans.is_some())?;
+        if let Some(km) = &self.kmeans {
+            km.write_params(w)?;
+        }
+        Ok(())
+    }
 }
 
 /// DBSCAN-based templates (related-work comparison, §V). Density clusters
@@ -319,6 +496,32 @@ impl DbscanTemplates {
             n_templates: 0,
             fitted: false,
         }
+    }
+
+    /// Deserializes a learner written by [`TemplateLearner::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure, truncation, or mismatched
+    /// point/label counts.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<Self> {
+        use wmp_mlkit::codec as c;
+        let config = DbscanConfig { eps: c::read_f64(r)?, min_pts: c::read_usize(r)? };
+        let scaler = StandardScaler::read_params(r)?;
+        let points = c::read_matrix(r)?;
+        let labels = c::read_usize_seq(r)?;
+        let n_templates = c::read_usize(r)?;
+        let fitted = c::read_bool(r)?;
+        if labels.len() != points.rows() {
+            return Err(c::codec_err(format!(
+                "dbscan has {} points but {} labels",
+                points.rows(),
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= n_templates.max(1)) {
+            return Err(c::codec_err(format!("dbscan label {bad} out of range 0..{n_templates}")));
+        }
+        Ok(DbscanTemplates { config, scaler, points, labels, n_templates, fitted })
     }
 }
 
@@ -371,6 +574,17 @@ impl TemplateLearner for DbscanTemplates {
 
     fn name(&self) -> &'static str {
         "dbscan"
+    }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use wmp_mlkit::codec as c;
+        c::write_f64(w, self.config.eps)?;
+        c::write_usize(w, self.config.min_pts)?;
+        self.scaler.write_params(w)?;
+        c::write_matrix(w, &self.points)?;
+        c::write_usize_seq(w, &self.labels)?;
+        c::write_usize(w, self.n_templates)?;
+        c::write_bool(w, self.fitted)
     }
 }
 

@@ -23,6 +23,9 @@ pub enum MlError {
     InvalidHyperparameter(String),
     /// The optimizer failed to make progress (e.g. non-finite loss).
     NumericalFailure(String),
+    /// A model artifact could not be encoded or decoded (I/O failure,
+    /// truncation, corruption, or an unsupported format version).
+    Codec(String),
 }
 
 impl fmt::Display for MlError {
@@ -36,6 +39,7 @@ impl fmt::Display for MlError {
             MlError::SingularMatrix => write!(f, "matrix is singular or not positive definite"),
             MlError::InvalidHyperparameter(msg) => write!(f, "invalid hyperparameter: {msg}"),
             MlError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            MlError::Codec(msg) => write!(f, "codec error: {msg}"),
         }
     }
 }

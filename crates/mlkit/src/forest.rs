@@ -78,6 +78,32 @@ impl RandomForest {
     pub fn total_nodes(&self) -> usize {
         self.trees.iter().map(Tree::n_nodes).sum()
     }
+
+    /// Deserializes a model written by [`Regressor::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure, truncation, or a malformed
+    /// tree arena.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<RandomForest> {
+        use crate::codec as c;
+        let config = RandomForestConfig {
+            n_trees: c::read_usize(r)?,
+            max_depth: c::read_usize(r)?,
+            min_samples_split: c::read_usize(r)?,
+            min_samples_leaf: c::read_usize(r)?,
+            max_features: if c::read_bool(r)? { Some(c::read_usize(r)?) } else { None },
+            max_bins: c::read_usize(r)?,
+            seed: c::read_u64(r)?,
+            n_threads: c::read_usize(r)?,
+        };
+        let n_features = c::read_usize(r)?;
+        let n = c::read_len(r, "forest trees")?;
+        let mut trees = Vec::with_capacity(n);
+        for _ in 0..n {
+            trees.push(Tree::read_from(r)?);
+        }
+        Ok(RandomForest { config, trees, n_features })
+    }
 }
 
 impl Footprint for RandomForest {
@@ -161,6 +187,27 @@ impl Regressor for RandomForest {
 
     fn name(&self) -> &'static str {
         "rf"
+    }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use crate::codec as c;
+        c::write_usize(w, self.config.n_trees)?;
+        c::write_usize(w, self.config.max_depth)?;
+        c::write_usize(w, self.config.min_samples_split)?;
+        c::write_usize(w, self.config.min_samples_leaf)?;
+        c::write_bool(w, self.config.max_features.is_some())?;
+        if let Some(m) = self.config.max_features {
+            c::write_usize(w, m)?;
+        }
+        c::write_usize(w, self.config.max_bins)?;
+        c::write_u64(w, self.config.seed)?;
+        c::write_usize(w, self.config.n_threads)?;
+        c::write_usize(w, self.n_features)?;
+        c::write_usize(w, self.trees.len())?;
+        for tree in &self.trees {
+            tree.write_to(w)?;
+        }
+        Ok(())
     }
 }
 

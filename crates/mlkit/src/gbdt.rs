@@ -92,6 +92,36 @@ impl GradientBoosting {
     pub fn total_nodes(&self) -> usize {
         self.trees.iter().map(Tree::n_nodes).sum()
     }
+
+    /// Deserializes a model written by [`Regressor::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure, truncation, or a malformed
+    /// tree arena.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<GradientBoosting> {
+        use crate::codec as c;
+        let config = GradientBoostingConfig {
+            n_estimators: c::read_usize(r)?,
+            learning_rate: c::read_f64(r)?,
+            max_depth: c::read_usize(r)?,
+            min_samples_split: c::read_usize(r)?,
+            min_samples_leaf: c::read_usize(r)?,
+            lambda: c::read_f64(r)?,
+            gamma: c::read_f64(r)?,
+            subsample: c::read_f64(r)?,
+            max_bins: c::read_usize(r)?,
+            seed: c::read_u64(r)?,
+            tol: c::read_f64(r)?,
+        };
+        let base_score = c::read_f64(r)?;
+        let n_features = c::read_usize(r)?;
+        let n = c::read_len(r, "boosting trees")?;
+        let mut trees = Vec::with_capacity(n);
+        for _ in 0..n {
+            trees.push(Tree::read_from(r)?);
+        }
+        Ok(GradientBoosting { config, base_score, trees, n_features })
+    }
 }
 
 impl Footprint for GradientBoosting {
@@ -196,6 +226,28 @@ impl Regressor for GradientBoosting {
 
     fn name(&self) -> &'static str {
         "xgb"
+    }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use crate::codec as c;
+        c::write_usize(w, self.config.n_estimators)?;
+        c::write_f64(w, self.config.learning_rate)?;
+        c::write_usize(w, self.config.max_depth)?;
+        c::write_usize(w, self.config.min_samples_split)?;
+        c::write_usize(w, self.config.min_samples_leaf)?;
+        c::write_f64(w, self.config.lambda)?;
+        c::write_f64(w, self.config.gamma)?;
+        c::write_f64(w, self.config.subsample)?;
+        c::write_usize(w, self.config.max_bins)?;
+        c::write_u64(w, self.config.seed)?;
+        c::write_f64(w, self.config.tol)?;
+        c::write_f64(w, self.base_score)?;
+        c::write_usize(w, self.n_features)?;
+        c::write_usize(w, self.trees.len())?;
+        for tree in &self.trees {
+            tree.write_to(w)?;
+        }
+        Ok(())
     }
 }
 

@@ -66,6 +66,68 @@ impl Tree {
         self.nodes.iter().filter(|n| matches!(n, TreeNode::Leaf { .. })).count()
     }
 
+    /// Serializes the node arena (tag byte per node: 0 = leaf, 1 = split).
+    ///
+    /// # Errors
+    /// Returns [`crate::error::MlError::Codec`] on I/O failure.
+    pub fn write_to(&self, w: &mut dyn std::io::Write) -> crate::error::MlResult<()> {
+        use crate::codec as c;
+        c::write_usize(w, self.nodes.len())?;
+        for node in &self.nodes {
+            match node {
+                TreeNode::Leaf { value } => {
+                    c::write_u8(w, 0)?;
+                    c::write_f64(w, *value)?;
+                }
+                TreeNode::Split { feature, threshold, left, right } => {
+                    c::write_u8(w, 1)?;
+                    c::write_u32(w, *feature)?;
+                    c::write_f64(w, *threshold)?;
+                    c::write_u32(w, *left)?;
+                    c::write_u32(w, *right)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a tree written by [`Tree::write_to`], validating that
+    /// every split's children point strictly forward in the arena (the
+    /// invariant the grower maintains), so a corrupted file cannot produce a
+    /// tree whose traversal loops forever.
+    ///
+    /// # Errors
+    /// Returns [`crate::error::MlError::Codec`] on I/O failure, truncation,
+    /// or a malformed arena.
+    pub fn read_from(r: &mut dyn std::io::Read) -> crate::error::MlResult<Tree> {
+        use crate::codec as c;
+        let n = c::read_len(r, "tree nodes")?;
+        if n == 0 {
+            return Err(c::codec_err("tree must have at least one node"));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            match c::read_u8(r)? {
+                0 => nodes.push(TreeNode::Leaf { value: c::read_f64(r)? }),
+                1 => {
+                    let feature = c::read_u32(r)?;
+                    let threshold = c::read_f64(r)?;
+                    let left = c::read_u32(r)?;
+                    let right = c::read_u32(r)?;
+                    let (lo, hi) = (i as u32, n as u32);
+                    if left <= lo || left >= hi || right <= lo || right >= hi {
+                        return Err(c::codec_err(format!(
+                            "tree node {i}: children ({left}, {right}) must lie in ({lo}, {hi})"
+                        )));
+                    }
+                    nodes.push(TreeNode::Split { feature, threshold, left, right });
+                }
+                other => return Err(c::codec_err(format!("invalid tree node tag {other}"))),
+            }
+        }
+        Ok(Tree { nodes })
+    }
+
     /// Maximum depth (root = depth 0); useful in tests.
     pub fn depth(&self) -> usize {
         fn rec(nodes: &[TreeNode], idx: usize) -> usize {

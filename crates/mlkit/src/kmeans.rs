@@ -189,6 +189,45 @@ impl KMeans {
     pub fn k(&self) -> usize {
         self.config.k
     }
+
+    /// Serializes the configuration and (if fitted) the centroids.
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure.
+    pub fn write_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use crate::codec as c;
+        c::write_usize(w, self.config.k)?;
+        c::write_usize(w, self.config.max_iter)?;
+        c::write_f64(w, self.config.tol)?;
+        c::write_usize(w, self.config.n_init)?;
+        c::write_u64(w, self.config.seed)?;
+        c::write_f64(w, self.inertia)?;
+        c::write_usize(w, self.iterations_run)?;
+        c::write_bool(w, self.centroids.is_some())?;
+        if let Some(cm) = &self.centroids {
+            c::write_matrix(w, cm)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a model written by [`KMeans::write_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure or truncation.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<KMeans> {
+        use crate::codec as c;
+        let config = KMeansConfig {
+            k: c::read_usize(r)?,
+            max_iter: c::read_usize(r)?,
+            tol: c::read_f64(r)?,
+            n_init: c::read_usize(r)?,
+            seed: c::read_u64(r)?,
+        };
+        let inertia = c::read_f64(r)?;
+        let iterations_run = c::read_usize(r)?;
+        let centroids = if c::read_bool(r)? { Some(c::read_matrix(r)?) } else { None };
+        Ok(KMeans { config, centroids, inertia, iterations_run })
+    }
 }
 
 impl Footprint for KMeans {

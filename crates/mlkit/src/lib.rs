@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod binned;
+pub mod codec;
 pub mod dbscan;
 pub mod error;
 pub mod forest;

@@ -163,6 +163,58 @@ impl Mlp {
         self.epochs_run
     }
 
+    /// Deserializes a network written by [`Regressor::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure, truncation, or invalid
+    /// activation/optimizer tags.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<Mlp> {
+        use crate::codec as c;
+        let hidden_layers = c::read_usize_seq(r)?;
+        let activation = match c::read_u8(r)? {
+            0 => Activation::Relu,
+            1 => Activation::Identity,
+            other => return Err(c::codec_err(format!("invalid activation tag {other}"))),
+        };
+        let optimizer = match c::read_u8(r)? {
+            0 => OptimizerKind::Sgd { lr: c::read_f64(r)?, momentum: c::read_f64(r)? },
+            1 => OptimizerKind::Adam { lr: c::read_f64(r)? },
+            2 => OptimizerKind::Lbfgs { history: c::read_usize(r)? },
+            other => return Err(c::codec_err(format!("invalid optimizer tag {other}"))),
+        };
+        let config = MlpConfig {
+            hidden_layers,
+            activation,
+            optimizer,
+            alpha: c::read_f64(r)?,
+            max_iter: c::read_usize(r)?,
+            batch_size: c::read_usize(r)?,
+            tol: c::read_f64(r)?,
+            seed: c::read_u64(r)?,
+        };
+        let n_features = c::read_usize(r)?;
+        let y_mean = c::read_f64(r)?;
+        let y_std = c::read_f64(r)?;
+        let final_loss = c::read_f64(r)?;
+        let epochs_run = c::read_usize(r)?;
+        let x_scaler = StandardScaler::read_params(r)?;
+        let n_layers = c::read_len(r, "mlp layers")?;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let w = c::read_matrix(r)?;
+            let b = c::read_f64_seq(r)?;
+            if b.len() != w.cols() {
+                return Err(c::codec_err(format!(
+                    "mlp layer bias length {} does not match weight cols {}",
+                    b.len(),
+                    w.cols()
+                )));
+            }
+            layers.push(Layer { w, b });
+        }
+        Ok(Mlp { config, layers, x_scaler, y_mean, y_std, n_features, final_loss, epochs_run })
+    }
+
     /// Layer widths including input and output, e.g. `[k, 48, ..., 1]`.
     pub fn layer_widths(&self) -> Vec<usize> {
         let mut widths = vec![self.n_features];
@@ -576,6 +628,50 @@ impl Regressor for Mlp {
 
     fn name(&self) -> &'static str {
         "dnn"
+    }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use crate::codec as c;
+        c::write_usize_seq(w, &self.config.hidden_layers)?;
+        c::write_u8(
+            w,
+            match self.config.activation {
+                Activation::Relu => 0,
+                Activation::Identity => 1,
+            },
+        )?;
+        match self.config.optimizer {
+            OptimizerKind::Sgd { lr, momentum } => {
+                c::write_u8(w, 0)?;
+                c::write_f64(w, lr)?;
+                c::write_f64(w, momentum)?;
+            }
+            OptimizerKind::Adam { lr } => {
+                c::write_u8(w, 1)?;
+                c::write_f64(w, lr)?;
+            }
+            OptimizerKind::Lbfgs { history } => {
+                c::write_u8(w, 2)?;
+                c::write_usize(w, history)?;
+            }
+        }
+        c::write_f64(w, self.config.alpha)?;
+        c::write_usize(w, self.config.max_iter)?;
+        c::write_usize(w, self.config.batch_size)?;
+        c::write_f64(w, self.config.tol)?;
+        c::write_u64(w, self.config.seed)?;
+        c::write_usize(w, self.n_features)?;
+        c::write_f64(w, self.y_mean)?;
+        c::write_f64(w, self.y_std)?;
+        c::write_f64(w, self.final_loss)?;
+        c::write_usize(w, self.epochs_run)?;
+        self.x_scaler.write_params(w)?;
+        c::write_usize(w, self.layers.len())?;
+        for layer in &self.layers {
+            c::write_matrix(w, &layer.w)?;
+            c::write_f64_seq(w, &layer.b)?;
+        }
+        Ok(())
     }
 }
 

@@ -32,6 +32,20 @@ impl Ridge {
     pub fn intercept(&self) -> f64 {
         self.intercept
     }
+
+    /// Deserializes a model written by [`Regressor::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure or truncation.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<Ridge> {
+        use crate::codec as c;
+        Ok(Ridge {
+            alpha: c::read_f64(r)?,
+            weights: c::read_f64_seq(r)?,
+            intercept: c::read_f64(r)?,
+            fitted: c::read_bool(r)?,
+        })
+    }
 }
 
 impl Footprint for Ridge {
@@ -112,6 +126,14 @@ impl Regressor for Ridge {
 
     fn name(&self) -> &'static str {
         "ridge"
+    }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use crate::codec as c;
+        c::write_f64(w, self.alpha)?;
+        c::write_f64_seq(w, &self.weights)?;
+        c::write_f64(w, self.intercept)?;
+        c::write_bool(w, self.fitted)
     }
 }
 

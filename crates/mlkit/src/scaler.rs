@@ -116,6 +116,33 @@ impl StandardScaler {
     pub fn stds(&self) -> &[f64] {
         &self.stds
     }
+
+    /// Serializes the fitted means and standard deviations.
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure.
+    pub fn write_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        crate::codec::write_f64_seq(w, &self.means)?;
+        crate::codec::write_f64_seq(w, &self.stds)
+    }
+
+    /// Deserializes a scaler written by [`StandardScaler::write_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure, truncation, or mismatched
+    /// mean/std lengths.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<StandardScaler> {
+        let means = crate::codec::read_f64_seq(r)?;
+        let stds = crate::codec::read_f64_seq(r)?;
+        if means.len() != stds.len() {
+            return Err(crate::codec::codec_err(format!(
+                "scaler means/stds length mismatch: {} vs {}",
+                means.len(),
+                stds.len()
+            )));
+        }
+        Ok(StandardScaler { means, stds })
+    }
 }
 
 #[cfg(test)]

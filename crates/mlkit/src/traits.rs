@@ -60,6 +60,24 @@ pub trait Regressor: Footprint + Send {
 
     /// Short stable name used in reports ("ridge", "xgb", ...).
     fn name(&self) -> &'static str;
+
+    /// Serializes the fitted parameters with the [`crate::codec`] primitives
+    /// so a trained model can be persisted behind the trait object.
+    ///
+    /// The payload is *parameters only* — no magic or versioning; container
+    /// concerns belong to the caller's format. Loading is intentionally not
+    /// on the trait: deserialization needs the concrete type, so each model
+    /// exposes an inherent `read_params` constructor instead.
+    ///
+    /// # Errors
+    /// Returns [`crate::error::MlError::Codec`] on I/O failure or for models
+    /// that do not support persistence (the default).
+    fn save_params(&self, _w: &mut dyn std::io::Write) -> MlResult<()> {
+        Err(crate::error::MlError::Codec(format!(
+            "regressor '{}' does not support persistence",
+            self.name()
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,24 @@ impl DecisionTree {
     pub fn n_leaves(&self) -> usize {
         self.tree.as_ref().map_or(0, Tree::n_leaves)
     }
+
+    /// Deserializes a model written by [`Regressor::save_params`].
+    ///
+    /// # Errors
+    /// Returns [`MlError::Codec`] on I/O failure, truncation, or a malformed
+    /// tree arena.
+    pub fn read_params(r: &mut dyn std::io::Read) -> MlResult<DecisionTree> {
+        use crate::codec as c;
+        let config = DecisionTreeConfig {
+            max_depth: c::read_usize(r)?,
+            min_samples_split: c::read_usize(r)?,
+            min_samples_leaf: c::read_usize(r)?,
+            max_bins: c::read_usize(r)?,
+        };
+        let n_features = c::read_usize(r)?;
+        let tree = if c::read_bool(r)? { Some(Tree::read_from(r)?) } else { None };
+        Ok(DecisionTree { config, tree, n_features })
+    }
 }
 
 impl Footprint for DecisionTree {
@@ -110,6 +128,20 @@ impl Regressor for DecisionTree {
 
     fn name(&self) -> &'static str {
         "dt"
+    }
+
+    fn save_params(&self, w: &mut dyn std::io::Write) -> MlResult<()> {
+        use crate::codec as c;
+        c::write_usize(w, self.config.max_depth)?;
+        c::write_usize(w, self.config.min_samples_split)?;
+        c::write_usize(w, self.config.min_samples_leaf)?;
+        c::write_usize(w, self.config.max_bins)?;
+        c::write_usize(w, self.n_features)?;
+        c::write_bool(w, self.tree.is_some())?;
+        if let Some(tree) = &self.tree {
+            tree.write_to(w)?;
+        }
+        Ok(())
     }
 }
 

@@ -49,6 +49,14 @@ impl Vectorizer {
         Vectorizer { vocab, names }
     }
 
+    /// Rebuilds a vectorizer from a vocabulary in feature order — the inverse
+    /// of [`Vectorizer::vocabulary`], used to reload persisted models. Token
+    /// order is preserved exactly, so feature indices match the original.
+    pub fn from_vocabulary(names: Vec<String>) -> Self {
+        let vocab = names.iter().cloned().enumerate().map(|(i, t)| (t, i)).collect();
+        Vectorizer { vocab, names }
+    }
+
     /// Vocabulary size (feature-vector length).
     pub fn vocab_size(&self) -> usize {
         self.names.len()

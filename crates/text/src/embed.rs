@@ -155,6 +155,34 @@ impl WordEmbedder {
         WordEmbedder { vocab, vectors: padded, dim: config.dim }
     }
 
+    /// Rebuilds an embedder from a token list and its embedding matrix (one
+    /// row per token, in the same order) — the inverse of
+    /// [`WordEmbedder::vocabulary`] + [`WordEmbedder::vectors`], used to
+    /// reload persisted models.
+    ///
+    /// # Panics
+    /// Panics when `names.len() != vectors.rows()` (callers validate first).
+    pub fn from_parts(names: Vec<String>, vectors: Matrix) -> Self {
+        assert_eq!(names.len(), vectors.rows(), "one embedding row per vocabulary token");
+        let dim = vectors.cols();
+        let vocab = names.into_iter().enumerate().map(|(i, t)| (t, i)).collect();
+        WordEmbedder { vocab, vectors, dim }
+    }
+
+    /// Vocabulary tokens ordered by embedding row index.
+    pub fn vocabulary(&self) -> Vec<String> {
+        let mut names = vec![String::new(); self.vocab.len()];
+        for (token, &i) in &self.vocab {
+            names[i] = token.clone();
+        }
+        names
+    }
+
+    /// The embedding matrix (one row per vocabulary token).
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
     /// Embedding dimension.
     pub fn dim(&self) -> usize {
         self.dim

@@ -13,8 +13,8 @@
 //! ```
 
 use learnedwmp::core::{
-    batch_workloads, LabelMode, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
-    SingleWmpDbms,
+    batch_workloads, LabelMode, LearnedWmp, ModelKind, SingleWmpDbms, TemplateSpec,
+    WorkloadPredictor,
 };
 use learnedwmp::workloads::QueryRecord;
 
@@ -34,13 +34,11 @@ fn main() {
     let train: Vec<&QueryRecord> = train_idx.iter().map(|&i| &log.records[i]).collect();
     let incoming: Vec<&QueryRecord> = test_idx.iter().map(|&i| &log.records[i]).collect();
 
-    let model = LearnedWmp::train(
-        LearnedWmpConfig { model: ModelKind::Rf, ..Default::default() },
-        Box::new(PlanKMeansTemplates::new(40, 42)),
-        &train,
-        &log.catalog,
-    )
-    .expect("training");
+    let model = LearnedWmp::builder()
+        .model(ModelKind::Rf)
+        .templates(TemplateSpec::PlanKMeans { k: 40, seed: 42 })
+        .fit_refs(&train, &log.catalog)
+        .expect("training");
 
     // Budget: the median actual batch demand — a deliberately tight system.
     let batches = batch_workloads(&incoming, 10, 5, LabelMode::Sum);
@@ -52,16 +50,15 @@ fn main() {
         batches.len()
     );
 
-    let mut learned_tally = Tally::default();
-    let mut heuristic_tally = Tally::default();
+    // Both gates answer through the same `WorkloadPredictor` trait.
+    let gates: [(&dyn WorkloadPredictor, usize); 2] = [(&model, 0), (&SingleWmpDbms, 1)];
+    let mut tallies = [Tally::default(), Tally::default()];
     for w in &batches {
         let qs: Vec<&QueryRecord> = w.query_indices.iter().map(|&i| incoming[i]).collect();
         let fits = w.y <= budget;
-        for (pred, tally) in [
-            (model.predict_workload(&qs).expect("prediction"), &mut learned_tally),
-            (SingleWmpDbms.predict_workload(&qs), &mut heuristic_tally),
-        ] {
-            let admit = pred <= budget;
+        for (gate, slot) in gates {
+            let admit = gate.predict_workload(&qs).expect("prediction") <= budget;
+            let tally = &mut tallies[slot];
             match (admit, fits) {
                 (true, true) => tally.admitted_ok += 1,
                 (true, false) => tally.admitted_overflow += 1,
@@ -70,6 +67,7 @@ fn main() {
             }
         }
     }
+    let [learned_tally, heuristic_tally] = tallies;
 
     let report = |name: &str, t: &Tally| {
         let total = t.admitted_ok + t.admitted_overflow + t.rejected_wasteful + t.rejected_ok;

@@ -11,8 +11,8 @@
 //! ```
 
 use learnedwmp::core::{
-    batch_workloads, LabelMode, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
-    SingleWmpDbms,
+    batch_workloads, LabelMode, LearnedWmp, ModelKind, SingleWmpDbms, TemplateSpec,
+    WorkloadPredictor,
 };
 use learnedwmp::mlkit::metrics::quantile;
 use learnedwmp::workloads::QueryRecord;
@@ -24,31 +24,21 @@ fn main() {
     let train: Vec<&QueryRecord> = train_idx.iter().map(|&i| &log.records[i]).collect();
     let future: Vec<&QueryRecord> = test_idx.iter().map(|&i| &log.records[i]).collect();
 
-    let model = LearnedWmp::train(
-        LearnedWmpConfig { model: ModelKind::Rf, ..Default::default() },
-        Box::new(PlanKMeansTemplates::new(100, 42)),
-        &train,
-        &log.catalog,
-    )
-    .expect("training");
+    let model = LearnedWmp::builder()
+        .model(ModelKind::Rf)
+        .templates(TemplateSpec::PlanKMeans { k: 100, seed: 42 })
+        .fit_refs(&train, &log.catalog)
+        .expect("training");
 
-    // "Future" concurrent batches the capacity plan must accommodate.
+    // "Future" concurrent batches the capacity plan must accommodate; both
+    // estimators answer through the `WorkloadPredictor` trait's batched path.
     let batches = batch_workloads(&future, 10, 3, LabelMode::Sum);
     let actual: Vec<f64> = batches.iter().map(|w| w.y).collect();
-    let learned: Vec<f64> = batches
-        .iter()
-        .map(|w| {
-            let qs: Vec<&QueryRecord> = w.query_indices.iter().map(|&i| future[i]).collect();
-            model.predict_workload(&qs).expect("prediction")
-        })
-        .collect();
-    let heuristic: Vec<f64> = batches
-        .iter()
-        .map(|w| {
-            let qs: Vec<&QueryRecord> = w.query_indices.iter().map(|&i| future[i]).collect();
-            SingleWmpDbms.predict_workload(&qs)
-        })
-        .collect();
+    let predict = |p: &dyn WorkloadPredictor| -> Vec<f64> {
+        p.predict_workloads(&future, &batches).expect("prediction")
+    };
+    let learned = predict(&model);
+    let heuristic = predict(&SingleWmpDbms);
 
     // Provision at the predicted 95th percentile + 10% headroom.
     let plan = |preds: &[f64]| quantile(preds, 0.95).expect("quantile") * 1.1;

@@ -1,13 +1,15 @@
-//! Quickstart: train a LearnedWMP model on an executed-query log and predict
-//! the working-memory demand of an unseen workload.
+//! Quickstart: train a LearnedWMP model with the builder, persist it to a
+//! versioned artifact, reload it (as a serving daemon would at startup), and
+//! predict the working-memory demand of unseen workloads through the
+//! `WorkloadPredictor` trait.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use learnedwmp::core::{
-    batch_workloads, LabelMode, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
-    SingleWmpDbms,
+    batch_workloads, LabelMode, LearnedWmp, ModelKind, SingleWmpDbms, TemplateSpec,
+    WorkloadPredictor,
 };
 use learnedwmp::workloads::QueryRecord;
 
@@ -23,58 +25,60 @@ fn main() {
     println!("  {} training queries, {} test queries", train.len(), test.len());
     println!("  mean per-query peak memory: {:.1} MB", log.mean_true_memory_mb());
 
-    // 2. Train: k-means templates over plan features (TR3), histogram
-    //    construction (TR4-TR5), XGBoost-style distribution regressor (TR6).
+    // 2. Train through the builder: k-means templates over plan features
+    //    (TR3), histogram construction (TR4-TR5), XGBoost-style distribution
+    //    regressor (TR6). Hyper-parameters are validated before any work.
     println!("\nTraining LearnedWMP-XGB with k = 100 templates, batch size s = 10...");
-    let model = LearnedWmp::train(
-        LearnedWmpConfig { model: ModelKind::Xgb, ..Default::default() },
-        Box::new(PlanKMeansTemplates::new(100, 42)),
-        &train,
-        &log.catalog,
-    )
-    .expect("training");
+    let model = LearnedWmp::builder()
+        .model(ModelKind::Xgb)
+        .templates(TemplateSpec::PlanKMeans { k: 100, seed: 42 })
+        .batch_size(10)
+        .fit_refs(&train, &log.catalog)
+        .expect("training");
     println!(
         "  templates learned in {:.0} ms, histograms in {:.0} ms, regressor fit in {:.0} ms",
         model.timings.template_ms, model.timings.histogram_ms, model.timings.fit_ms
     );
-    println!("  model size: {:.1} kB", model.footprint_bytes() as f64 / 1024.0);
 
-    // 3. Predict unseen workloads and compare against the actual collective
-    //    memory and the DBMS optimizer's heuristic estimate.
+    // 3. Persist the trained model and reload it — the paper's §I deployment
+    //    story: train offline, ship the artifact into the DBMS, load at
+    //    startup. The reloaded model predicts bit-identically.
+    let path = std::env::temp_dir().join("learnedwmp-quickstart.lwmp");
+    model.save_to(&path).expect("save");
+    let artifact_kb = std::fs::metadata(&path).expect("metadata").len() as f64 / 1024.0;
+    let served = LearnedWmp::load_from(&path).expect("load");
+    println!("\nPersisted model: {} ({artifact_kb:.1} kB on disk)", path.display());
+
+    // 4. Serve predictions through the uniform `WorkloadPredictor` trait —
+    //    the reloaded model and the DBMS heuristic answer the same calls.
+    let predictors: Vec<Box<dyn WorkloadPredictor>> =
+        vec![Box::new(served), Box::new(SingleWmpDbms)];
     let workloads = batch_workloads(&test, 10, 7, LabelMode::Sum);
-    let dbms = SingleWmpDbms;
     println!("\nFirst five unseen workloads (10 queries each):");
     println!("  {:>10} {:>12} {:>12} {:>12}", "workload", "actual MB", "LearnedWMP", "DBMS est.");
     for (i, w) in workloads.iter().take(5).enumerate() {
         let queries: Vec<&QueryRecord> = w.query_indices.iter().map(|&j| test[j]).collect();
-        let pred = model.predict_workload(&queries).expect("prediction");
-        let heur = dbms.predict_workload(&queries);
-        println!("  {:>10} {:>12.1} {:>12.1} {:>12.1}", i, w.y, pred, heur);
+        let preds: Vec<f64> =
+            predictors.iter().map(|p| p.predict_workload(&queries).expect("prediction")).collect();
+        println!("  {:>10} {:>12.1} {:>12.1} {:>12.1}", i, w.y, preds[0], preds[1]);
     }
 
-    // 4. Aggregate accuracy over all unseen workloads.
+    // 5. Aggregate accuracy over all unseen workloads, via the batched
+    //    fast path (each query is template-assigned exactly once).
     let y: Vec<f64> = workloads.iter().map(|w| w.y).collect();
-    let preds: Vec<f64> = workloads
-        .iter()
-        .map(|w| {
-            let queries: Vec<&QueryRecord> = w.query_indices.iter().map(|&j| test[j]).collect();
-            model.predict_workload(&queries).expect("prediction")
-        })
-        .collect();
-    let heur: Vec<f64> = workloads
-        .iter()
-        .map(|w| {
-            let queries: Vec<&QueryRecord> = w.query_indices.iter().map(|&j| test[j]).collect();
-            dbms.predict_workload(&queries)
-        })
-        .collect();
-    let rmse_model = learnedwmp::mlkit::metrics::rmse(&y, &preds).expect("rmse");
-    let rmse_dbms = learnedwmp::mlkit::metrics::rmse(&y, &heur).expect("rmse");
     println!("\nRMSE over {} unseen workloads:", workloads.len());
-    println!("  LearnedWMP-XGB : {rmse_model:>8.1} MB");
-    println!("  DBMS heuristic : {rmse_dbms:>8.1} MB");
+    let mut rmses = Vec::new();
+    for p in &predictors {
+        let preds = p.predict_workloads(&test, &workloads).expect("prediction");
+        let rmse = learnedwmp::mlkit::metrics::rmse(&y, &preds).expect("rmse");
+        println!("  {:<16}: {rmse:>8.1} MB  (model size {:.1} kB)", p.name(), {
+            p.footprint_bytes() as f64 / 1024.0
+        });
+        rmses.push(rmse);
+    }
     println!(
         "  -> LearnedWMP reduces workload memory estimation error by {:.1}%",
-        (1.0 - rmse_model / rmse_dbms) * 100.0
+        (1.0 - rmses[0] / rmses[1]) * 100.0
     );
+    std::fs::remove_file(&path).ok();
 }

@@ -20,25 +20,34 @@
 //! ## Quickstart
 //!
 //! ```
-//! use learnedwmp::core::{LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates};
+//! use learnedwmp::core::{LearnedWmp, ModelKind, TemplateSpec, WorkloadPredictor};
 //!
 //! // 1. Generate an executed-query log (here: a small TPC-C-style corpus).
 //! let log = learnedwmp::workloads::tpcc::generate(400, 7).unwrap();
-//! let train: Vec<_> = log.records.iter().collect();
 //!
-//! // 2. Train LearnedWMP: templates via k-means over plan features, then a
-//! //    distribution regressor over workload histograms.
-//! let model = LearnedWmp::train(
-//!     LearnedWmpConfig { model: ModelKind::Xgb, ..Default::default() },
-//!     Box::new(PlanKMeansTemplates::new(8, 42)),
-//!     &train,
-//!     &log.catalog,
-//! )
-//! .unwrap();
+//! // 2. Train LearnedWMP through the validated builder: k-means templates
+//! //    over plan features, then a distribution regressor over workload
+//! //    histograms.
+//! let model = LearnedWmp::builder()
+//!     .model(ModelKind::Xgb)
+//!     .templates(TemplateSpec::PlanKMeans { k: 8, seed: 42 })
+//!     .batch_size(10)
+//!     .fit(&log)
+//!     .unwrap();
 //!
-//! // 3. Predict the collective memory demand of a 10-query workload.
-//! let predicted_mb = model.predict_workload(&train[..10]).unwrap();
+//! // 3. Persist the trained model and reload it — the reloaded artifact
+//! //    predicts bit-identically (train once, load many).
+//! let mut artifact = Vec::new();
+//! model.save_to_writer(&mut artifact).unwrap();
+//! let served = LearnedWmp::load_from_reader(&mut artifact.as_slice()).unwrap();
+//!
+//! // 4. Predict the collective memory demand of a 10-query workload through
+//! //    the uniform `WorkloadPredictor` trait (every family implements it).
+//! let workload: Vec<_> = log.records.iter().take(10).collect();
+//! let predictor: &dyn WorkloadPredictor = &served;
+//! let predicted_mb = predictor.predict_workload(&workload).unwrap();
 //! assert!(predicted_mb > 0.0);
+//! assert_eq!(predicted_mb, model.predict_workload(&workload).unwrap());
 //! ```
 
 pub use learnedwmp_core as core;

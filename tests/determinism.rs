@@ -1,9 +1,7 @@
 //! Reproducibility: the whole stack — generation, planning, simulation,
 //! template learning, training, prediction — is deterministic in its seeds.
 
-use learnedwmp::core::{
-    EvalConfig, EvalContext, LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates,
-};
+use learnedwmp::core::{EvalConfig, EvalContext, LearnedWmp, ModelKind, TemplateSpec};
 use learnedwmp::workloads::QueryRecord;
 
 #[test]
@@ -48,13 +46,12 @@ fn trained_models_predict_identically_for_fixed_seeds() {
     let log = learnedwmp::workloads::tpcc::generate(800, 3).expect("log");
     let refs: Vec<&QueryRecord> = log.records.iter().collect();
     let train = |seed: u64| {
-        LearnedWmp::train(
-            LearnedWmpConfig { model: ModelKind::Xgb, seed, ..Default::default() },
-            Box::new(PlanKMeansTemplates::new(10, seed)),
-            &refs,
-            &log.catalog,
-        )
-        .expect("training")
+        LearnedWmp::builder()
+            .model(ModelKind::Xgb)
+            .seed(seed)
+            .templates(TemplateSpec::PlanKMeans { k: 10, seed })
+            .fit(&log)
+            .expect("training")
     };
     let m1 = train(42);
     let m2 = train(42);

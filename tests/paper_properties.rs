@@ -2,8 +2,8 @@
 //! against the real pipeline rather than units in isolation.
 
 use learnedwmp::core::{
-    batch_workloads, EvalConfig, EvalContext, LabelMode, LearnedWmp, LearnedWmpConfig, ModelKind,
-    PlanKMeansTemplates, TemplateLearner,
+    batch_workloads, EvalConfig, EvalContext, LabelMode, LearnedWmp, ModelKind,
+    PlanKMeansTemplates, TemplateLearner, TemplateSpec,
 };
 use learnedwmp::workloads::QueryRecord;
 
@@ -131,13 +131,11 @@ fn learned_inference_makes_one_call_per_workload() {
     // permuting queries inside a workload cannot change the prediction.
     let log = learnedwmp::workloads::tpcc::generate(600, 9).expect("log");
     let refs: Vec<&QueryRecord> = log.records.iter().collect();
-    let model = LearnedWmp::train(
-        LearnedWmpConfig { model: ModelKind::Dt, ..Default::default() },
-        Box::new(PlanKMeansTemplates::new(8, 42)),
-        &refs,
-        &log.catalog,
-    )
-    .expect("training");
+    let model = LearnedWmp::builder()
+        .model(ModelKind::Dt)
+        .templates(TemplateSpec::PlanKMeans { k: 8, seed: 42 })
+        .fit(&log)
+        .expect("training");
     let workload: Vec<&QueryRecord> = refs[..10].to_vec();
     let mut reversed = workload.clone();
     reversed.reverse();

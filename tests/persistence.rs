@@ -1,0 +1,131 @@
+//! Model persistence, end to end through the facade: save → load → predict
+//! must be bit-for-bit deterministic for every `ModelKind`, and corrupted,
+//! truncated, or version-mismatched artifacts must fail loudly — never load
+//! as a silently wrong model.
+
+use learnedwmp::core::{
+    batch_workloads, LabelMode, LearnedWmp, ModelKind, TemplateSpec, WorkloadPredictor,
+};
+use learnedwmp::workloads::QueryRecord;
+
+fn trained(kind: ModelKind, log: &learnedwmp::workloads::QueryLog) -> LearnedWmp {
+    LearnedWmp::builder()
+        .model(kind)
+        .templates(TemplateSpec::PlanKMeans { k: 8, seed: 42 })
+        .fit(log)
+        .unwrap_or_else(|e| panic!("{kind:?}: training failed: {e}"))
+}
+
+fn artifact_of(model: &LearnedWmp) -> Vec<u8> {
+    let mut buf = Vec::new();
+    model.save_to_writer(&mut buf).expect("save");
+    buf
+}
+
+#[test]
+fn save_load_predict_is_bit_identical_for_every_model_kind() {
+    let log = learnedwmp::workloads::tpcc::generate(400, 11).expect("log");
+    let refs: Vec<&QueryRecord> = log.records.iter().collect();
+    let workloads = batch_workloads(&refs, 10, 7, LabelMode::Sum);
+    for kind in ModelKind::ALL {
+        let model = trained(kind, &log);
+        let bytes = artifact_of(&model);
+        let reloaded = LearnedWmp::load_from_reader(&mut bytes.as_slice())
+            .unwrap_or_else(|e| panic!("{kind:?}: load failed: {e}"));
+
+        // Single-workload path.
+        for chunk in refs.chunks(10).take(5) {
+            assert_eq!(
+                model.predict_workload(chunk).expect("orig").to_bits(),
+                reloaded.predict_workload(chunk).expect("reloaded").to_bits(),
+                "{kind:?}: single-workload prediction must be bit-identical"
+            );
+        }
+        // Batched trait path.
+        let a = WorkloadPredictor::predict_workloads(&model, &refs, &workloads).expect("orig");
+        let b =
+            WorkloadPredictor::predict_workloads(&reloaded, &refs, &workloads).expect("reloaded");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{kind:?}: batched prediction drifted");
+        }
+        // Metadata and size accounting survive too.
+        assert_eq!(model.footprint_bytes(), reloaded.footprint_bytes(), "{kind:?}");
+        assert_eq!(model.config().model, reloaded.config().model, "{kind:?}");
+        assert_eq!(model.n_train_workloads, reloaded.n_train_workloads, "{kind:?}");
+    }
+}
+
+#[test]
+fn save_is_deterministic_per_model() {
+    let log = learnedwmp::workloads::tpcc::generate(300, 5).expect("log");
+    let model = trained(ModelKind::Xgb, &log);
+    assert_eq!(artifact_of(&model), artifact_of(&model), "same model, same bytes");
+}
+
+#[test]
+fn file_round_trip_via_paths() {
+    let log = learnedwmp::workloads::tpcc::generate(300, 6).expect("log");
+    let model = trained(ModelKind::Rf, &log);
+    let path = std::env::temp_dir().join(format!("lwmp-test-{}.lwmp", std::process::id()));
+    model.save_to(&path).expect("save_to");
+    let reloaded = LearnedWmp::load_from(&path).expect("load_from");
+    std::fs::remove_file(&path).ok();
+    let refs: Vec<&QueryRecord> = log.records.iter().collect();
+    assert_eq!(
+        model.predict_workload(&refs[..10]).unwrap().to_bits(),
+        reloaded.predict_workload(&refs[..10]).unwrap().to_bits()
+    );
+}
+
+#[test]
+fn version_mismatch_is_a_clear_error() {
+    let log = learnedwmp::workloads::tpcc::generate(250, 2).expect("log");
+    let mut bytes = artifact_of(&trained(ModelKind::Ridge, &log));
+    // The format version lives at offset 4 (u16 LE).
+    bytes[4] = 2;
+    bytes[5] = 0;
+    let err = LearnedWmp::load_from_reader(&mut bytes.as_slice()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("version 2"), "error must name the found version: {msg}");
+    assert!(msg.contains('1'), "error must name the supported version: {msg}");
+}
+
+#[test]
+fn corrupted_bytes_are_rejected_everywhere() {
+    let log = learnedwmp::workloads::tpcc::generate(250, 3).expect("log");
+    let bytes = artifact_of(&trained(ModelKind::Dt, &log));
+    // Flip one byte at a spread of offsets (header, config, payloads,
+    // checksum): every corruption must error, never load silently.
+    let step = (bytes.len() / 13).max(1);
+    for offset in (0..bytes.len()).step_by(step) {
+        let mut bad = bytes.clone();
+        bad[offset] ^= 0x55;
+        assert!(
+            LearnedWmp::load_from_reader(&mut bad.as_slice()).is_err(),
+            "flipping byte {offset} of {} must not load",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn truncated_files_are_rejected_at_every_length() {
+    let log = learnedwmp::workloads::tpcc::generate(250, 4).expect("log");
+    let bytes = artifact_of(&trained(ModelKind::Dnn, &log));
+    let step = (bytes.len() / 17).max(1);
+    for cut in (0..bytes.len()).step_by(step) {
+        assert!(
+            LearnedWmp::load_from_reader(&mut &bytes[..cut]).is_err(),
+            "a {cut}-byte prefix of {} must not load",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn garbage_and_empty_inputs_are_rejected() {
+    assert!(LearnedWmp::load_from_reader(&mut [].as_slice()).is_err());
+    assert!(LearnedWmp::load_from_reader(&mut [0u8; 64].as_slice()).is_err());
+    let err = LearnedWmp::load_from_reader(&mut b"not a model file at all".as_slice());
+    assert!(err.is_err());
+}

@@ -4,7 +4,7 @@
 //! re-exports, core → mlkit/plan/workloads dependencies, and the five
 //! `ModelKind` code paths — rather than model quality.
 
-use learnedwmp::core::{LearnedWmp, LearnedWmpConfig, ModelKind, PlanKMeansTemplates};
+use learnedwmp::core::{LearnedWmp, ModelKind, TemplateSpec};
 use learnedwmp::workloads::QueryRecord;
 
 #[test]
@@ -12,13 +12,11 @@ fn every_model_kind_trains_and_predicts_positive_memory() {
     let log = learnedwmp::workloads::tpcc::generate(240, 11).expect("tpcc log");
     let train: Vec<&QueryRecord> = log.records.iter().collect();
     for kind in ModelKind::ALL {
-        let model = LearnedWmp::train(
-            LearnedWmpConfig { model: kind, ..Default::default() },
-            Box::new(PlanKMeansTemplates::new(6, 42)),
-            &train,
-            &log.catalog,
-        )
-        .unwrap_or_else(|e| panic!("{kind:?} failed to train: {e}"));
+        let model = LearnedWmp::builder()
+            .model(kind)
+            .templates(TemplateSpec::PlanKMeans { k: 6, seed: 42 })
+            .fit(&log)
+            .unwrap_or_else(|e| panic!("{kind:?} failed to train: {e}"));
         for workload in train.chunks(8).take(4) {
             let mb = model
                 .predict_workload(workload)
