@@ -36,7 +36,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let assignments: Vec<usize> =
         refs[..10].iter().map(|r| learner.assign(r).expect("assign")).collect();
     c.bench_function("histogram_build_s10", |b| {
-        b.iter(|| build_histogram(&assignments, 12, HistogramMode::Counts))
+        b.iter(|| build_histogram(&assignments, 12, HistogramMode::Counts).expect("histogram"))
     });
 }
 

@@ -210,6 +210,20 @@ impl LearnedWmp {
         w.write_all(&out).map_err(|e| MlError::Codec(format!("write model: {e}")))
     }
 
+    /// Clones the model through the codec (save → load in memory). The
+    /// round trip is bit-exact, so the clone predicts identically to the
+    /// source — this is how the serving layer snapshots a retrained model
+    /// into a shareable copy without `LearnedWmp` implementing `Clone`
+    /// (trait objects hold the learned state).
+    ///
+    /// # Errors
+    /// Same conditions as [`LearnedWmp::save_to_writer`].
+    pub fn codec_clone(&self) -> MlResult<Self> {
+        let mut bytes = Vec::with_capacity(4096);
+        self.save_to_writer(&mut bytes)?;
+        Self::load_from_reader(&mut bytes.as_slice())
+    }
+
     /// Saves the model to a file (see [`LearnedWmp::save_to_writer`]).
     ///
     /// The artifact is fully serialized in memory, written to a temporary

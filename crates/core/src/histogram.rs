@@ -2,6 +2,8 @@
 //! per-template query counts that LearnedWMP's distribution regressor
 //! consumes.
 
+use wmp_mlkit::{error::dim_mismatch, MlResult};
+
 /// Raw counts vs. normalized frequencies — the `ablation_histogram` knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HistogramMode {
@@ -15,12 +17,17 @@ pub enum HistogramMode {
 
 /// Builds a workload histogram from per-query template assignments.
 ///
-/// # Panics
-/// Panics if an assignment is `>= k` (a template-learner contract violation).
-pub fn build_histogram(assignments: &[usize], k: usize, mode: HistogramMode) -> Vec<f64> {
+/// # Errors
+/// Returns [`wmp_mlkit::MlError::DimensionMismatch`] if an assignment is
+/// `>= k` (a template-learner contract violation). A resident serving daemon
+/// must not crash on one bad assignment, so the violation surfaces as a
+/// typed error rather than a panic.
+pub fn build_histogram(assignments: &[usize], k: usize, mode: HistogramMode) -> MlResult<Vec<f64>> {
     let mut h = vec![0.0; k];
     for &a in assignments {
-        assert!(a < k, "template id {a} out of range (k = {k})");
+        if a >= k {
+            return Err(dim_mismatch(format!("template id < {k}"), format!("template id {a}")));
+        }
         h[a] += 1.0;
     }
     if mode == HistogramMode::Frequencies && !assignments.is_empty() {
@@ -29,7 +36,7 @@ pub fn build_histogram(assignments: &[usize], k: usize, mode: HistogramMode) -> 
             *v /= n;
         }
     }
-    h
+    Ok(h)
 }
 
 #[cfg(test)]
@@ -40,7 +47,7 @@ mod tests {
     fn reproduces_the_papers_worked_example() {
         // Fig. 3: 9 queries, k = 4 templates, histogram [3, 4, 0, 2].
         let assignments = [0, 0, 0, 1, 1, 1, 1, 3, 3];
-        let h = build_histogram(&assignments, 4, HistogramMode::Counts);
+        let h = build_histogram(&assignments, 4, HistogramMode::Counts).unwrap();
         assert_eq!(h, vec![3.0, 4.0, 0.0, 2.0]);
         // Σ H = |Q| (paper eq. 4/8).
         assert_eq!(h.iter().sum::<f64>(), 9.0);
@@ -49,30 +56,32 @@ mod tests {
     #[test]
     fn frequencies_sum_to_one() {
         let assignments = [0, 1, 1, 2];
-        let h = build_histogram(&assignments, 3, HistogramMode::Frequencies);
+        let h = build_histogram(&assignments, 3, HistogramMode::Frequencies).unwrap();
         assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((h[1] - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn empty_workload_gives_zero_histogram() {
-        let h = build_histogram(&[], 5, HistogramMode::Counts);
+        let h = build_histogram(&[], 5, HistogramMode::Counts).unwrap();
         assert_eq!(h, vec![0.0; 5]);
-        let h = build_histogram(&[], 5, HistogramMode::Frequencies);
+        let h = build_histogram(&[], 5, HistogramMode::Frequencies).unwrap();
         assert_eq!(h, vec![0.0; 5]);
     }
 
     #[test]
     fn histograms_are_sparse_for_concentrated_workloads() {
         let assignments = [7usize; 10];
-        let h = build_histogram(&assignments, 50, HistogramMode::Counts);
+        let h = build_histogram(&assignments, 50, HistogramMode::Counts).unwrap();
         assert_eq!(h[7], 10.0);
         assert_eq!(h.iter().filter(|&&v| v != 0.0).count(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_assignment_panics() {
-        build_histogram(&[3], 3, HistogramMode::Counts);
+    fn out_of_range_assignment_is_a_typed_error_not_a_panic() {
+        let err = build_histogram(&[3], 3, HistogramMode::Counts).unwrap_err();
+        assert!(err.to_string().contains("template id 3"), "{err}");
+        // The boundary id is fine.
+        assert!(build_histogram(&[2], 3, HistogramMode::Counts).is_ok());
     }
 }

@@ -169,10 +169,21 @@ impl LearnedWmp {
         let rows: Vec<Vec<f64>> = workloads
             .iter()
             .map(|w| {
-                let member: Vec<usize> = w.query_indices.iter().map(|&i| assignments[i]).collect();
+                let member: Vec<usize> = w
+                    .query_indices
+                    .iter()
+                    .map(|&i| {
+                        assignments.get(i).copied().ok_or_else(|| {
+                            wmp_mlkit::error::dim_mismatch(
+                                format!("query index < {}", records.len()),
+                                format!("index {i}"),
+                            )
+                        })
+                    })
+                    .collect::<MlResult<_>>()?;
                 build_histogram(&member, k, config.histogram_mode)
             })
-            .collect();
+            .collect::<MlResult<_>>()?;
         let x = Matrix::from_rows(&rows)?;
         let y: Vec<f64> = workloads.iter().map(|w| w.y).collect();
         let histogram_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -199,8 +210,11 @@ impl LearnedWmp {
     pub fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
         let assignments: Vec<usize> =
             queries.iter().map(|r| self.templates.assign(r)).collect::<MlResult<_>>()?;
-        let h =
-            build_histogram(&assignments, self.templates.n_templates(), self.config.histogram_mode);
+        let h = build_histogram(
+            &assignments,
+            self.templates.n_templates(),
+            self.config.histogram_mode,
+        )?;
         self.regressor.predict_row(&h)
     }
 
@@ -213,7 +227,8 @@ impl LearnedWmp {
     /// [`crate::predictor::WorkloadPredictor`] trait.
     ///
     /// # Errors
-    /// Propagates per-workload errors.
+    /// Propagates per-workload errors; out-of-range `query_indices` surface
+    /// as a typed [`MlError::DimensionMismatch`] instead of a panic.
     pub fn predict_workloads(
         &self,
         records: &[&QueryRecord],
@@ -226,17 +241,23 @@ impl LearnedWmp {
         for w in workloads {
             member.clear();
             for &i in &w.query_indices {
+                let record = *records.get(i).ok_or_else(|| {
+                    wmp_mlkit::error::dim_mismatch(
+                        format!("query index < {}", records.len()),
+                        format!("index {i}"),
+                    )
+                })?;
                 let a = match assignments[i] {
                     Some(a) => a,
                     None => {
-                        let a = self.templates.assign(records[i])?;
+                        let a = self.templates.assign(record)?;
                         assignments[i] = Some(a);
                         a
                     }
                 };
                 member.push(a);
             }
-            let h = build_histogram(&member, k, self.config.histogram_mode);
+            let h = build_histogram(&member, k, self.config.histogram_mode)?;
             preds.push(self.regressor.predict_row(&h)?);
         }
         Ok(preds)

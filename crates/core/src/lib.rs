@@ -17,6 +17,8 @@
 //!   heuristic);
 //! - [`predictor`] — the [`WorkloadPredictor`] trait every family serves
 //!   through;
+//! - [`handle`] — [`PredictorHandle`]: shared, hot-swappable model handles
+//!   for concurrent serving;
 //! - [`codec`] — versioned binary persistence (`save_to` / `load_from`);
 //! - [`online`] — the deployment loop: warm-start from a shipped artifact,
 //!   observe, retrain;
@@ -29,6 +31,7 @@ pub mod builder;
 pub mod codec;
 pub mod config;
 pub mod eval;
+pub mod handle;
 pub mod histogram;
 pub mod learned;
 pub mod model;
@@ -41,6 +44,7 @@ pub mod workload;
 pub use builder::{LearnedWmpBuilder, TemplateSpec};
 pub use config::{DatasetConfig, ExperimentConfig};
 pub use eval::{EvalConfig, EvalContext, ModelReport};
+pub use handle::{ModelSnapshot, PredictorHandle, SwapOutcome};
 pub use histogram::{build_histogram, HistogramMode};
 pub use learned::{LearnedWmp, LearnedWmpConfig, TrainTimings};
 pub use model::{Approach, ModelKind};

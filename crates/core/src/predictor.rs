@@ -18,10 +18,39 @@ use crate::online::OnlineWmp;
 use crate::single::{SingleWmp, SingleWmpDbms};
 use crate::workload::Workload;
 
+/// Resolves a workload's `query_indices` against the record slice, rejecting
+/// out-of-range indices with a typed error instead of panicking — a serving
+/// daemon must survive a malformed workload description.
+///
+/// # Errors
+/// Returns [`wmp_mlkit::MlError::DimensionMismatch`] naming the bad index.
+pub(crate) fn gather_queries<'r>(
+    records: &[&'r QueryRecord],
+    workload: &Workload,
+) -> MlResult<Vec<&'r QueryRecord>> {
+    workload
+        .query_indices
+        .iter()
+        .map(|&i| {
+            records.get(i).copied().ok_or_else(|| {
+                wmp_mlkit::error::dim_mismatch(
+                    format!("query index < {}", records.len()),
+                    format!("index {i}"),
+                )
+            })
+        })
+        .collect()
+}
+
 /// A trained (or heuristic) model that predicts the collective working-memory
 /// demand of a workload — the common contract over the paper's three
 /// predictor families (§IV: LearnedWMP, SingleWMP, SingleWMP-DBMS).
-pub trait WorkloadPredictor: Send {
+///
+/// The bound is `Send + Sync`: a trained predictor is immutable at serving
+/// time, so one instance can be shared across concurrent request threads —
+/// typically behind a [`crate::handle::PredictorHandle`], which adds atomic
+/// hot-swap of the underlying model on top of the shared reads.
+pub trait WorkloadPredictor: Send + Sync {
     /// Stable display name, e.g. `"LearnedWMP-XGB"` or `"SingleWMP-DBMS"`.
     fn name(&self) -> String;
 
@@ -38,20 +67,15 @@ pub trait WorkloadPredictor: Send {
     /// workload.
     ///
     /// # Errors
-    /// Propagates per-workload errors.
+    /// Propagates per-workload errors, and rejects workloads whose
+    /// `query_indices` fall outside `records` with a
+    /// [`wmp_mlkit::MlError::DimensionMismatch`] instead of panicking.
     fn predict_workloads(
         &self,
         records: &[&QueryRecord],
         workloads: &[Workload],
     ) -> MlResult<Vec<f64>> {
-        workloads
-            .iter()
-            .map(|w| {
-                let queries: Vec<&QueryRecord> =
-                    w.query_indices.iter().map(|&i| records[i]).collect();
-                self.predict_workload(&queries)
-            })
-            .collect()
+        workloads.iter().map(|w| self.predict_workload(&gather_queries(records, w)?)).collect()
     }
 
     /// Size of the learned parameters in bytes (0 for pure heuristics) — the
@@ -92,13 +116,8 @@ impl WorkloadPredictor for SingleWmp {
         SingleWmp::predict_workload(self, queries)
     }
 
-    fn predict_workloads(
-        &self,
-        records: &[&QueryRecord],
-        workloads: &[Workload],
-    ) -> MlResult<Vec<f64>> {
-        SingleWmp::predict_workloads(self, records, workloads)
-    }
+    // `predict_workloads` uses the validating trait default: summing per
+    // query has no batched fast path to exploit.
 
     fn footprint_bytes(&self) -> usize {
         SingleWmp::footprint_bytes(self)
@@ -114,13 +133,7 @@ impl WorkloadPredictor for SingleWmpDbms {
         Ok(SingleWmpDbms::predict_workload(self, queries))
     }
 
-    fn predict_workloads(
-        &self,
-        records: &[&QueryRecord],
-        workloads: &[Workload],
-    ) -> MlResult<Vec<f64>> {
-        Ok(SingleWmpDbms::predict_workloads(self, records, workloads))
-    }
+    // `predict_workloads` uses the validating trait default.
 
     fn footprint_bytes(&self) -> usize {
         0

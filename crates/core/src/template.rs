@@ -24,7 +24,11 @@ use wmp_workloads::QueryRecord;
 /// Assigns queries to templates. Implementations are fitted on the training
 /// log (TR3) and then used during both histogram construction (TR5) and
 /// inference (IN3).
-pub trait TemplateLearner: Send {
+///
+/// `Send + Sync`: once fitted, `assign` is called concurrently from every
+/// serving thread, so implementations must keep assignment-time state
+/// immutable (or behind a lock).
+pub trait TemplateLearner: Send + Sync {
     /// Learns templates from training records.
     ///
     /// # Errors

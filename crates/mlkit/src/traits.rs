@@ -35,7 +35,13 @@ pub trait Footprint {
 /// All models in this crate implement this trait so the LearnedWMP and
 /// SingleWMP pipelines can swap learners (DNN / Ridge / DT / RF / XGB) behind
 /// one interface, as the paper does in §III-B4.
-pub trait Regressor: Footprint + Send {
+///
+/// The trait is `Send + Sync`: a fitted regressor is immutable state, so a
+/// serving engine may share one trained model across concurrent request
+/// threads (`&self` prediction from many threads at once). Implementations
+/// must not introduce un-synchronized interior mutability — prediction-time
+/// caches belong behind a lock or atomics.
+pub trait Regressor: Footprint + Send + Sync {
     /// Fits the model on `x` (one row per example) and targets `y`.
     ///
     /// # Errors

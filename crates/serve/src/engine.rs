@@ -1,0 +1,285 @@
+//! The [`Engine`] facade: an always-on serving loop that turns an unbounded
+//! query stream into fixed-size workload windows, scores each window through
+//! a hot-swappable [`PredictorHandle`], and retrains in the background.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use learnedwmp_core::handle::PredictorHandle;
+use learnedwmp_core::{LearnedWmp, OnlineWmp, WorkloadPredictor};
+use wmp_mlkit::{MlError, MlResult};
+use wmp_plan::Catalog;
+use wmp_workloads::QueryRecord;
+
+use crate::stats::{EngineStats, StatsSnapshot};
+use crate::ticket::{QueryTicket, TicketState, WorkloadDecision};
+
+/// How the engine slices the submission stream into workloads (the paper's
+/// §II workload definition, applied at serving time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Score a window as soon as `s` queries have accumulated — the serving
+    /// mirror of the paper's fixed-size workloads (TR4/IN1, `s = 10` in the
+    /// evaluation). A value of 0 is treated as 1.
+    Count(usize),
+    /// Accumulate indefinitely; windows are scored only by explicit
+    /// [`Engine::drain`] calls — the variable-length-workload extension
+    /// (§I), where the caller decides the window boundary (e.g. an
+    /// admission tick).
+    Drain,
+}
+
+struct Pending {
+    records: Vec<QueryRecord>,
+    tickets: Vec<Arc<TicketState>>,
+}
+
+impl Pending {
+    fn new() -> Self {
+        Pending { records: Vec::new(), tickets: Vec::new() }
+    }
+
+    fn take(&mut self) -> Pending {
+        std::mem::replace(self, Pending::new())
+    }
+}
+
+struct Retrainer {
+    tx: Option<mpsc::Sender<QueryRecord>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Drop for Retrainer {
+    fn drop(&mut self) {
+        // Closing the channel ends the background loop; join so no
+        // retraining outlives the engine.
+        self.tx.take();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// A thread-safe serving engine.
+///
+/// Lifecycle: **submit → window → predict → observe → swap**.
+///
+/// - [`Engine::submit`] enqueues an arriving query and returns a
+///   [`QueryTicket`] immediately.
+/// - Once the [`WindowPolicy`] closes a window, the engine pins the current
+///   model ([`PredictorHandle::snapshot`]), predicts the window's collective
+///   memory, and resolves every member ticket with the same
+///   [`WorkloadDecision`].
+/// - [`Engine::observe`] feeds executed queries (with their measured true
+///   memory) to a background [`OnlineWmp`] retrainer; when a retraining
+///   pass completes, the new model is published through the handle without
+///   blocking in-flight predictions.
+/// - [`Engine::reload`] installs a persisted artifact the same way.
+///
+/// All methods take `&self`: one `Engine` (or one `Arc<Engine>`) is shared
+/// across every request thread.
+pub struct Engine {
+    handle: PredictorHandle,
+    policy: WindowPolicy,
+    pending: Mutex<Pending>,
+    window_seq: AtomicU64,
+    query_seq: AtomicU64,
+    stats: Arc<EngineStats>,
+    retrainer: Option<Retrainer>,
+}
+
+impl Engine {
+    /// Creates an engine serving through `handle` (no background
+    /// retraining; attach it with [`Engine::with_retraining`]).
+    pub fn new(handle: PredictorHandle, policy: WindowPolicy) -> Self {
+        Engine {
+            handle,
+            policy,
+            pending: Mutex::new(Pending::new()),
+            window_seq: AtomicU64::new(0),
+            query_seq: AtomicU64::new(0),
+            stats: Arc::new(EngineStats::default()),
+            retrainer: None,
+        }
+    }
+
+    /// Attaches a background retraining loop: records passed to
+    /// [`Engine::observe`] stream into `online` on a dedicated thread, and
+    /// every completed retraining pass publishes the new model through this
+    /// engine's handle (a codec round-trip snapshot, so the published model
+    /// predicts bit-identically to the retrainer's). Warm-start `online`
+    /// first if predictions should flow before the first pass.
+    pub fn with_retraining(mut self, online: OnlineWmp, catalog: Catalog) -> Self {
+        let (tx, rx) = mpsc::channel::<QueryRecord>();
+        let handle = self.handle.clone();
+        let stats = Arc::clone(&self.stats);
+        let join = std::thread::spawn(move || {
+            let mut online = online;
+            while let Ok(record) = rx.recv() {
+                match online.observe(record, &catalog) {
+                    Ok(outcome) if outcome.retrained() => {
+                        // The codec round trip is bit-exact, so the
+                        // published copy predicts identically to the
+                        // retrainer's private model while sharing no
+                        // mutable state with readers.
+                        let published = online
+                            .model()
+                            .ok_or(MlError::NotFitted("OnlineWmp after retrain"))
+                            .and_then(LearnedWmp::codec_clone);
+                        match published {
+                            Ok(model) => {
+                                handle.swap(model);
+                                stats.swaps.fetch_add(1, Ordering::Relaxed);
+                                stats.retrains.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                stats.retrain_failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        stats.retrain_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        self.retrainer = Some(Retrainer { tx: Some(tx), join: Some(join) });
+        self
+    }
+
+    /// Submits one arriving query. Returns immediately with a ticket that
+    /// resolves when the query's window is scored. If this submission closes
+    /// a [`WindowPolicy::Count`] window, the window is scored on the calling
+    /// thread before returning (so the returned ticket is already resolved).
+    pub fn submit(&self, record: QueryRecord) -> QueryTicket {
+        let seq = self.query_seq.fetch_add(1, Ordering::Relaxed);
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let state = TicketState::new();
+        let ticket = QueryTicket { seq, state: Arc::clone(&state) };
+
+        let closed = {
+            let mut pending =
+                self.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            pending.records.push(record);
+            pending.tickets.push(state);
+            match self.policy {
+                WindowPolicy::Count(s) if pending.records.len() >= s.max(1) => Some(pending.take()),
+                _ => None,
+            }
+        };
+        if let Some(window) = closed {
+            self.score_window(window);
+        }
+        ticket
+    }
+
+    /// Flushes the current partial window (any policy), scoring whatever has
+    /// accumulated. Returns the number of tickets resolved (0 when nothing
+    /// was pending).
+    pub fn drain(&self) -> usize {
+        let window = self.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        let n = window.records.len();
+        if n > 0 {
+            self.score_window(window);
+        }
+        n
+    }
+
+    /// Queries waiting for their window to close.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner).records.len()
+    }
+
+    fn score_window(&self, window: Pending) {
+        debug_assert_eq!(window.records.len(), window.tickets.len());
+        let window_id = self.window_seq.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let snapshot = self.handle.snapshot();
+        let refs: Vec<&QueryRecord> = window.records.iter().collect();
+        let result = snapshot.predict_workload(&refs);
+        self.stats.latency.record(t0.elapsed());
+        self.stats.windows.fetch_add(1, Ordering::Relaxed);
+        let n = window.tickets.len() as u64;
+        let resolution = match result {
+            Ok(predicted_mb) => {
+                self.stats.served.fetch_add(n, Ordering::Relaxed);
+                Ok(WorkloadDecision {
+                    window_id,
+                    predicted_mb,
+                    window_len: window.records.len(),
+                    model_version: snapshot.version(),
+                })
+            }
+            Err(e) => {
+                self.stats.failed.fetch_add(n, Ordering::Relaxed);
+                Err(e)
+            }
+        };
+        for ticket in &window.tickets {
+            ticket.resolve(resolution.clone());
+        }
+    }
+
+    /// Streams one executed query (with its measured memory) to the
+    /// background retrainer. Returns `false` — and drops the record — when
+    /// no retrainer is attached or its thread has stopped.
+    pub fn observe(&self, record: QueryRecord) -> bool {
+        let Some(retrainer) = &self.retrainer else { return false };
+        let Some(tx) = &retrainer.tx else { return false };
+        if tx.send(record).is_ok() {
+            self.stats.observed.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Loads a persisted model artifact (see [`LearnedWmp::load_from`]) and
+    /// installs it as the serving model; readers switch on their next
+    /// snapshot without ever blocking. Returns the new model version.
+    ///
+    /// # Errors
+    /// Propagates artifact open/validation errors; on error the previous
+    /// model keeps serving.
+    pub fn reload(&self, path: impl AsRef<std::path::Path>) -> MlResult<u64> {
+        let model = LearnedWmp::load_from(path)?;
+        Ok(self.install(model))
+    }
+
+    /// Installs an in-process model as the serving model (the non-file
+    /// counterpart of [`Engine::reload`]). Returns the version this
+    /// installation published (race-free even if a background retrain
+    /// swaps concurrently).
+    pub fn install(&self, model: impl WorkloadPredictor + 'static) -> u64 {
+        let outcome = self.handle.swap(model);
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        outcome.version
+    }
+
+    /// The shared predictor handle (clone it to serve the same model
+    /// elsewhere, or to swap models from outside the engine).
+    pub fn handle(&self) -> &PredictorHandle {
+        &self.handle
+    }
+
+    /// Point-in-time serving telemetry.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Never strand a waiter: resolve any un-scored tickets with a typed
+        // error instead of leaving them blocked forever.
+        let window = self.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        for ticket in &window.tickets {
+            ticket.resolve(Err(MlError::EmptyInput(
+                "Engine dropped with a partial window (call drain() before shutdown)",
+            )));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! # wmp-serve — the thread-safe serving engine
+//!
+//! The paper deploys LearnedWMP as a *resident* predictor inside the DBMS
+//! (§I "DBMS Integration"): every arriving workload gets a memory estimate
+//! from the current model, executed queries flow back as training data, and
+//! the model is periodically retrained without taking the service down.
+//! This crate is that serving surface, built on three pieces:
+//!
+//! - [`Engine`] — the facade: [`Engine::submit`] turns an unbounded query
+//!   stream into workload windows and resolves per-query [`QueryTicket`]s
+//!   with each window's predicted memory; [`Engine::observe`] streams
+//!   executed queries to a background retrainer; [`Engine::reload`]
+//!   installs a persisted artifact.
+//! - [`PredictorHandle`] (from `learnedwmp_core`) — the shared,
+//!   hot-swappable model handle: N request threads read coherent snapshots
+//!   while a writer installs a replacement without blocking them.
+//! - [`EngineStats`] — lock-free serving telemetry (counters plus p50/p99
+//!   window-scoring latency).
+//!
+//! ## Windowing policies and the paper's workload definition
+//!
+//! The paper (§II) defines a *workload* as a **set of `s` queries executed
+//! as a batch**, and its model consumes the workload's template histogram
+//! (Algorithm 2) — predictions are inherently per-window, not per-query.
+//! A serving engine therefore has to decide where one workload ends and the
+//! next begins on a stream that never ends:
+//!
+//! - [`WindowPolicy::Count`]`(s)` reproduces the paper's fixed-size
+//!   workloads at serving time: every `s` submissions close a window, which
+//!   is exactly the regime the model was trained in (TR4 batches the
+//!   training log into workloads of the same `s`; the evaluation fixes
+//!   `s = 10`). Matching the training batch size at serving time keeps the
+//!   histogram scale (`Σ H = s`, eq. 8) consistent between training and
+//!   inference.
+//! - [`WindowPolicy::Drain`] leaves the boundary to the caller
+//!   ([`Engine::drain`]), supporting the variable-length-workload extension
+//!   the paper sketches in §I — e.g. an admission controller that flushes
+//!   whatever arrived in a scheduling tick. Use it with a model trained on
+//!   [`HistogramMode::Frequencies`](learnedwmp_core::HistogramMode) or
+//!   variable-length batches so window size is not baked into the features.
+//!
+//! Every query of a window receives the *same* [`WorkloadDecision`] — the
+//! window's collective prediction — because the paper's model prices the
+//! batch, not its members.
+//!
+//! ## Example
+//!
+//! ```
+//! use learnedwmp_core::{LearnedWmp, ModelKind, PredictorHandle, TemplateSpec};
+//! use wmp_serve::{Engine, WindowPolicy};
+//!
+//! let log = wmp_workloads::tpcc::generate(300, 7).unwrap();
+//! let model = LearnedWmp::builder()
+//!     .model(ModelKind::Ridge)
+//!     .templates(TemplateSpec::PlanKMeans { k: 6, seed: 7 })
+//!     .fit(&log)
+//!     .unwrap();
+//!
+//! let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(10));
+//! let tickets: Vec<_> =
+//!     log.records.iter().take(10).map(|r| engine.submit(r.clone())).collect();
+//! // The 10th submission closed the window: every ticket carries the
+//! // window's collective prediction.
+//! let decision = tickets[0].wait().unwrap();
+//! assert_eq!(decision.window_len, 10);
+//! assert!(decision.predicted_mb > 0.0);
+//! assert!(tickets.iter().all(|t| t.is_resolved()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod stats;
+pub mod ticket;
+
+pub use engine::{Engine, WindowPolicy};
+pub use learnedwmp_core::handle::{ModelSnapshot, PredictorHandle};
+pub use stats::{EngineStats, StatsSnapshot};
+pub use ticket::{QueryTicket, WorkloadDecision};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use learnedwmp_core::{
+        LearnedWmp, LearnedWmpConfig, ModelKind, OnlinePolicy, OnlineWmp, TemplateSpec,
+    };
+    use wmp_workloads::{QueryLog, QueryRecord};
+
+    fn trained_on(log: &QueryLog, kind: ModelKind, seed: u64) -> LearnedWmp {
+        LearnedWmp::builder()
+            .model(kind)
+            .templates(TemplateSpec::PlanKMeans { k: 6, seed })
+            .fit(log)
+            .unwrap()
+    }
+
+    #[test]
+    fn count_windows_resolve_with_the_windows_prediction() {
+        let log = wmp_workloads::tpcc::generate(200, 1).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 1);
+        let probe: Vec<&QueryRecord> = log.records[..10].iter().collect();
+        let expected = model.predict_workload(&probe).unwrap();
+
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(10));
+        let tickets: Vec<QueryTicket> =
+            log.records[..25].iter().map(|r| engine.submit(r.clone())).collect();
+
+        // 25 submissions at s=10: two full windows scored, 5 queries pending.
+        let d0 = tickets[0].wait().unwrap();
+        assert_eq!(d0.window_id, 0);
+        assert_eq!(d0.window_len, 10);
+        assert_eq!(d0.predicted_mb.to_bits(), expected.to_bits());
+        for t in &tickets[..10] {
+            assert_eq!(t.wait().unwrap(), d0, "one decision per window");
+        }
+        assert_eq!(tickets[10].wait().unwrap().window_id, 1);
+        assert!(!tickets[20].is_resolved());
+        assert_eq!(engine.pending_len(), 5);
+
+        // Drain flushes the partial window.
+        assert_eq!(engine.drain(), 5);
+        assert_eq!(tickets[20].wait().unwrap().window_len, 5);
+        assert_eq!(engine.drain(), 0, "nothing left to flush");
+
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 25);
+        assert_eq!(stats.served, 25);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.windows, 3);
+        assert_eq!(stats.resolved(), stats.submitted);
+    }
+
+    #[test]
+    fn drain_policy_accumulates_until_flushed() {
+        let log = wmp_workloads::tpcc::generate(120, 2).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 2);
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Drain);
+        let tickets: Vec<QueryTicket> =
+            log.records[..37].iter().map(|r| engine.submit(r.clone())).collect();
+        assert!(tickets.iter().all(|t| !t.is_resolved()), "Drain never auto-closes");
+        assert_eq!(engine.pending_len(), 37);
+        assert_eq!(engine.drain(), 37);
+        let d = tickets[36].wait().unwrap();
+        assert_eq!(d.window_len, 37);
+        assert_eq!(engine.stats().windows, 1);
+    }
+
+    #[test]
+    fn replayed_stream_feeds_the_engine() {
+        let log = wmp_workloads::tpcc::generate(200, 3).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 3);
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(10));
+        let mut tickets = Vec::new();
+        for chunk in log.replay(64) {
+            for record in chunk {
+                tickets.push(engine.submit(record.clone()));
+            }
+        }
+        engine.drain();
+        assert_eq!(tickets.len(), 200);
+        assert!(tickets.iter().all(|t| t.wait().is_ok()));
+        assert_eq!(engine.stats().windows, 20);
+    }
+
+    #[test]
+    fn install_and_reload_swap_the_serving_model() {
+        let log = wmp_workloads::tpcc::generate(250, 4).unwrap();
+        let a = trained_on(&log, ModelKind::Ridge, 4);
+        let b = trained_on(&log, ModelKind::Xgb, 5);
+        let probe: Vec<&QueryRecord> = log.records[..10].iter().collect();
+        let pa = a.predict_workload(&probe).unwrap();
+        let pb = b.predict_workload(&probe).unwrap();
+        assert_ne!(pa.to_bits(), pb.to_bits());
+
+        let dir = std::env::temp_dir().join("wmp-serve-reload-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model-b.lwmp");
+        b.save_to(&path).unwrap();
+
+        let engine = Engine::new(PredictorHandle::new(a), WindowPolicy::Count(10));
+        let first: Vec<QueryTicket> =
+            log.records[..10].iter().map(|r| engine.submit(r.clone())).collect();
+        assert_eq!(first[0].wait().unwrap().predicted_mb.to_bits(), pa.to_bits());
+        assert_eq!(first[0].wait().unwrap().model_version, 0);
+
+        let version = engine.reload(&path).unwrap();
+        assert_eq!(version, 1);
+        let second: Vec<QueryTicket> =
+            log.records[..10].iter().map(|r| engine.submit(r.clone())).collect();
+        let d = second[0].wait().unwrap();
+        assert_eq!(d.predicted_mb.to_bits(), pb.to_bits(), "reload serves the artifact");
+        assert_eq!(d.model_version, 1);
+        assert_eq!(engine.stats().swaps, 1);
+
+        assert!(engine.reload(dir.join("missing.lwmp")).is_err());
+        assert_eq!(engine.handle().version(), 1, "failed reload keeps the current model serving");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_retrains_in_the_background_and_hot_swaps() {
+        let log = wmp_workloads::tpcc::generate(400, 6).unwrap();
+        let seed_model = trained_on(&log, ModelKind::Ridge, 6);
+        let probe: Vec<&QueryRecord> = log.records[..10].iter().collect();
+        let seeded = seed_model.predict_workload(&probe).unwrap();
+
+        let config = LearnedWmpConfig { model: ModelKind::Ridge, ..Default::default() };
+        let policy = OnlinePolicy { retrain_every: 200, window: 1_000, k_templates: 6 };
+        let online = OnlineWmp::new(config, policy);
+        let engine = Engine::new(PredictorHandle::new(seed_model), WindowPolicy::Count(10))
+            .with_retraining(online, log.catalog.clone());
+
+        for r in &log.records {
+            assert!(engine.observe(r.clone()));
+        }
+        // The retrainer runs on its own thread; wait for both passes
+        // (400 observations / retrain_every 200) to publish.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while engine.stats().retrains < 2 {
+            assert!(std::time::Instant::now() < deadline, "retraining never published");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.observed, 400);
+        assert_eq!(stats.retrain_failures, 0);
+        assert!(engine.handle().version() >= 2);
+
+        // Predictions now come from a retrained model, not the seed.
+        let tickets: Vec<QueryTicket> =
+            log.records[..10].iter().map(|r| engine.submit(r.clone())).collect();
+        let d = tickets[9].wait().unwrap();
+        assert!(d.model_version >= 2);
+        assert_ne!(d.predicted_mb.to_bits(), seeded.to_bits());
+    }
+
+    #[test]
+    fn observe_without_a_retrainer_reports_false() {
+        let log = wmp_workloads::tpcc::generate(60, 8).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 8);
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(10));
+        assert!(!engine.observe(log.records[0].clone()));
+        assert_eq!(engine.stats().observed, 0);
+    }
+
+    #[test]
+    fn dropping_the_engine_resolves_stranded_tickets_with_an_error() {
+        let log = wmp_workloads::tpcc::generate(60, 9).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 9);
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(10));
+        let ticket = engine.submit(log.records[0].clone());
+        drop(engine);
+        assert!(ticket.wait().is_err(), "no waiter blocks forever on shutdown");
+    }
+
+    #[test]
+    fn window_policy_count_zero_degrades_to_one() {
+        let log = wmp_workloads::tpcc::generate(60, 10).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 10);
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(0));
+        let t = engine.submit(log.records[0].clone());
+        assert_eq!(t.wait().unwrap().window_len, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Closed-loop admission control (the paper's §I motivation): a DBMS holds a
+//! fixed working-memory budget and must decide, per arriving workload,
+//! whether the batch's *predicted* collective memory still fits next to the
+//! batches already executing. The loop is closed because every decision
+//! feeds back into the next one: an admitted batch occupies its **actual**
+//! memory until it completes, so optimistic predictions push the system into
+//! overflow (spills, thrashing) while pessimistic ones strand headroom.
+//!
+//! The controller is predictor-agnostic — it consumes plain
+//! `(predicted_mb, actual_mb)` pairs — so the serving engine (`wmp_serve`),
+//! the examples, and tests can drive the same scenario with LearnedWMP, the
+//! DBMS heuristic, or an oracle, and compare [`AdmissionStats`].
+
+/// The controller's verdict for one offered workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted: the batch now executes and occupies memory until
+    /// [`AdmissionController::complete`] is called with this id.
+    Admitted(u64),
+    /// Rejected: predicted demand exceeded the available headroom.
+    Rejected,
+}
+
+impl Admission {
+    /// True for [`Admission::Admitted`].
+    pub fn admitted(&self) -> bool {
+        matches!(self, Admission::Admitted(_))
+    }
+}
+
+/// Outcome tallies of a finished (or running) admission scenario.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdmissionStats {
+    /// Batches admitted.
+    pub admitted: usize,
+    /// Batches rejected.
+    pub rejected: usize,
+    /// Rejections that were wasteful: the batch's *actual* demand would have
+    /// fit in the actual headroom at decision time (stranded capacity).
+    pub rejected_would_fit: usize,
+    /// Decisions after which the actual in-flight memory exceeded the
+    /// budget — the failure mode admission control exists to prevent.
+    pub overflow_events: usize,
+    /// Worst actual in-flight memory observed (MB).
+    pub peak_actual_mb: f64,
+    /// Sum of admitted batches' actual memory (MB) — throughput proxy.
+    pub admitted_actual_mb: f64,
+}
+
+impl AdmissionStats {
+    /// Wrong decisions: admissions that overflowed plus wasteful rejections.
+    pub fn wrong_decisions(&self) -> usize {
+        self.overflow_events + self.rejected_would_fit
+    }
+}
+
+/// One executing batch.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    id: u64,
+    predicted_mb: f64,
+    actual_mb: f64,
+}
+
+/// A budgeted admission gate over a stream of predicted workloads.
+///
+/// Decisions are made against *predicted* occupancy (the controller only
+/// ever sees predictions at decision time, like a real DBMS); overflow is
+/// detected against *actual* occupancy (what the hardware experiences).
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    budget_mb: f64,
+    in_flight: Vec<InFlight>,
+    next_id: u64,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// Creates a controller with a working-memory budget in MB.
+    pub fn new(budget_mb: f64) -> Self {
+        AdmissionController {
+            budget_mb,
+            in_flight: Vec::new(),
+            next_id: 0,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// The configured budget (MB).
+    pub fn budget_mb(&self) -> f64 {
+        self.budget_mb
+    }
+
+    /// Predicted memory currently admitted (MB) — the gate's world view.
+    pub fn predicted_in_flight_mb(&self) -> f64 {
+        self.in_flight.iter().map(|b| b.predicted_mb).sum()
+    }
+
+    /// Actual memory currently admitted (MB) — the hardware's view.
+    pub fn actual_in_flight_mb(&self) -> f64 {
+        self.in_flight.iter().map(|b| b.actual_mb).sum()
+    }
+
+    /// Offers one workload: admit iff its predicted demand fits the
+    /// predicted headroom. `actual_mb` is the ground truth used for
+    /// overflow/waste accounting — a real gate never sees it at decision
+    /// time, and neither does the admit/reject choice here.
+    pub fn offer(&mut self, predicted_mb: f64, actual_mb: f64) -> Admission {
+        let fits = self.predicted_in_flight_mb() + predicted_mb <= self.budget_mb;
+        if !fits {
+            self.stats.rejected += 1;
+            if self.actual_in_flight_mb() + actual_mb <= self.budget_mb {
+                self.stats.rejected_would_fit += 1;
+            }
+            return Admission::Rejected;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.in_flight.push(InFlight { id, predicted_mb, actual_mb });
+        self.stats.admitted += 1;
+        self.stats.admitted_actual_mb += actual_mb;
+        let occupied = self.actual_in_flight_mb();
+        if occupied > self.stats.peak_actual_mb {
+            self.stats.peak_actual_mb = occupied;
+        }
+        if occupied > self.budget_mb {
+            self.stats.overflow_events += 1;
+        }
+        Admission::Admitted(id)
+    }
+
+    /// Completes an admitted batch, releasing its memory. Unknown ids are
+    /// ignored (idempotent completion).
+    pub fn complete(&mut self, id: u64) {
+        self.in_flight.retain(|b| b.id != id);
+    }
+
+    /// Completes the oldest admitted batch, if any, and returns its id —
+    /// convenience for fixed-concurrency replay loops.
+    pub fn complete_oldest(&mut self) -> Option<u64> {
+        if self.in_flight.is_empty() {
+            return None;
+        }
+        let id = self.in_flight.remove(0).id;
+        Some(id)
+    }
+
+    /// Batches currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Tallies so far.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_predicted_budget_is_full() {
+        let mut gate = AdmissionController::new(100.0);
+        assert!(gate.offer(40.0, 40.0).admitted());
+        assert!(gate.offer(40.0, 40.0).admitted());
+        assert_eq!(gate.offer(40.0, 10.0), Admission::Rejected);
+        assert_eq!(gate.in_flight(), 2);
+        let stats = gate.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.rejected, 1);
+        // The rejected batch actually needed only 10 MB next to 80 MB real
+        // occupancy — a wasteful rejection caused by over-prediction.
+        assert_eq!(stats.rejected_would_fit, 1);
+        assert_eq!(stats.overflow_events, 0);
+    }
+
+    #[test]
+    fn under_prediction_overflows_the_budget() {
+        let mut gate = AdmissionController::new(100.0);
+        // The gate believes 30 MB each; reality is 70 MB each.
+        assert!(gate.offer(30.0, 70.0).admitted());
+        assert!(gate.offer(30.0, 70.0).admitted());
+        let stats = gate.stats();
+        assert_eq!(stats.overflow_events, 1, "140 MB actual > 100 MB budget");
+        assert!((stats.peak_actual_mb - 140.0).abs() < 1e-9);
+        assert_eq!(stats.wrong_decisions(), 1);
+    }
+
+    #[test]
+    fn completion_closes_the_loop() {
+        let mut gate = AdmissionController::new(100.0);
+        let Admission::Admitted(id) = gate.offer(90.0, 85.0) else { panic!("admit") };
+        assert_eq!(gate.offer(20.0, 5.0), Admission::Rejected);
+        gate.complete(id);
+        assert_eq!(gate.in_flight(), 0);
+        assert!(gate.offer(20.0, 5.0).admitted(), "headroom returns after completion");
+        // Unknown/duplicate completion is a no-op.
+        gate.complete(id);
+        gate.complete(999);
+        assert_eq!(gate.in_flight(), 1);
+    }
+
+    #[test]
+    fn fixed_concurrency_replay_with_complete_oldest() {
+        let mut gate = AdmissionController::new(50.0);
+        for _ in 0..10 {
+            if gate.in_flight() >= 2 {
+                gate.complete_oldest();
+            }
+            gate.offer(20.0, 18.0);
+        }
+        assert!(gate.stats().admitted >= 8);
+        assert_eq!(gate.stats().overflow_events, 0);
+        assert!(gate.stats().peak_actual_mb <= 50.0);
+        assert!(gate.complete_oldest().is_some());
+    }
+
+    #[test]
+    fn perfect_predictions_make_no_wrong_decisions() {
+        let mut gate = AdmissionController::new(64.0);
+        for i in 0..20 {
+            let mb = 10.0 + (i % 5) as f64 * 8.0;
+            if gate.in_flight() >= 3 {
+                gate.complete_oldest();
+            }
+            gate.offer(mb, mb);
+        }
+        assert_eq!(gate.stats().wrong_decisions(), 0, "oracle gate is never wrong");
+    }
+}

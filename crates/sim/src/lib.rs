@@ -8,13 +8,19 @@
 //!   with pipeline-phase analysis, driven by **true** cardinalities, producing
 //!   the label `m` for every query (plus deterministic log-normal run noise);
 //! - [`heuristic::DbmsHeuristicEstimator`] — an expert-rule estimator driven
-//!   by **estimated** cardinalities (the paper's SingleWMP-DBMS baseline).
+//!   by **estimated** cardinalities (the paper's SingleWMP-DBMS baseline);
+//! - [`admission::AdmissionController`] — a closed-loop admission-control
+//!   scenario: a budgeted gate admits workloads on *predicted* memory while
+//!   admitted batches occupy their *actual* memory, so prediction error
+//!   surfaces as overflow events or stranded capacity.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod executor;
 pub mod heuristic;
 pub mod noise;
 
+pub use admission::{Admission, AdmissionController, AdmissionStats};
 pub use executor::{ExecutorSimulator, MemProfile, MemoryConfig, MB};
 pub use heuristic::{DbmsHeuristicEstimator, HeuristicConfig};

@@ -70,6 +70,15 @@ impl QueryLog {
         (idx, test)
     }
 
+    /// Replays the log as a stream of arrival chunks of at most `chunk_size`
+    /// queries — the shape a serving engine ingests: an unbounded arrival
+    /// stream consumed a few queries at a time, rather than a materialized
+    /// batch. The final chunk may be shorter; a `chunk_size` of 0 yields an
+    /// empty stream (a resident server must not panic on a bad knob).
+    pub fn replay(&self, chunk_size: usize) -> Replay<'_> {
+        Replay { records: &self.records, chunk_size }
+    }
+
     /// Mean true memory (MB) across the log — useful to sanity-check scale.
     pub fn mean_true_memory_mb(&self) -> f64 {
         if self.records.is_empty() {
@@ -78,6 +87,45 @@ impl QueryLog {
         self.records.iter().map(|r| r.true_memory_mb).sum::<f64>() / self.records.len() as f64
     }
 }
+
+/// Streaming iterator over a [`QueryLog`], created by [`QueryLog::replay`]:
+/// yields consecutive record chunks in log order until the log is exhausted.
+#[derive(Debug, Clone)]
+pub struct Replay<'a> {
+    records: &'a [QueryRecord],
+    chunk_size: usize,
+}
+
+impl<'a> Replay<'a> {
+    /// Queries not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.records.len()
+    }
+}
+
+impl<'a> Iterator for Replay<'a> {
+    type Item = &'a [QueryRecord];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.chunk_size == 0 || self.records.is_empty() {
+            return None;
+        }
+        let take = self.chunk_size.min(self.records.len());
+        let (chunk, rest) = self.records.split_at(take);
+        self.records = rest;
+        Some(chunk)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.chunk_size == 0 {
+            return (0, Some(0));
+        }
+        let n = self.records.len().div_ceil(self.chunk_size);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Replay<'_> {}
 
 /// Plans, simulates, and featurizes one query spec into a [`QueryRecord`].
 ///
@@ -202,6 +250,38 @@ mod tests {
         let (train, test) = log.train_test_split(0.0, 0);
         assert!(train.is_empty());
         assert_eq!(test.len(), 4);
+    }
+
+    #[test]
+    fn replay_streams_every_record_in_order() {
+        let log = tiny_log(10);
+        let chunks: Vec<&[QueryRecord]> = log.replay(3).collect();
+        assert_eq!(chunks.len(), 4, "10 records in chunks of 3 = 3+3+3+1");
+        assert_eq!(chunks[3].len(), 1, "final partial chunk is kept");
+        let ids: Vec<u64> = chunks.iter().flat_map(|c| c.iter()).map(|r| r.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>(), "log order, no loss");
+    }
+
+    #[test]
+    fn replay_tracks_progress_and_sizes() {
+        let log = tiny_log(7);
+        let mut replay = log.replay(2);
+        assert_eq!(replay.len(), 4);
+        assert_eq!(replay.remaining(), 7);
+        replay.next().unwrap();
+        assert_eq!(replay.remaining(), 5);
+        assert_eq!(replay.len(), 3);
+        // Exact division: no trailing empty chunk.
+        assert_eq!(log.replay(7).count(), 1);
+        // Oversized chunks degrade to one full-log chunk.
+        assert_eq!(log.replay(100).next().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn replay_edge_knobs_do_not_panic() {
+        let log = tiny_log(4);
+        assert_eq!(log.replay(0).count(), 0, "chunk_size 0 is an empty stream");
+        assert_eq!(tiny_log(0).replay(5).count(), 0, "empty log is an empty stream");
     }
 
     #[test]

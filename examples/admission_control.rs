@@ -4,35 +4,27 @@
 //! that overflow (spills, thrashing, failures); over-estimation leaves
 //! capacity idle.
 //!
-//! The example replays unseen JOB-style batches through an admission gate
-//! driven by (a) the DBMS heuristic and (b) LearnedWMP, counting both error
-//! types against the ground truth.
+//! Unseen JOB-style traffic is replayed through two serving engines — one
+//! holding LearnedWMP, one holding the DBMS heuristic — and each window's
+//! ticketed prediction drives a `wmp_sim::AdmissionController` gate; the
+//! controllers tally both error types against the ground truth.
 //!
 //! ```sh
 //! cargo run --release --example admission_control
 //! ```
 
-use learnedwmp::core::{
-    batch_workloads, LabelMode, LearnedWmp, ModelKind, SingleWmpDbms, TemplateSpec,
-    WorkloadPredictor,
-};
+use learnedwmp::core::{LearnedWmp, ModelKind, PredictorHandle, SingleWmpDbms, TemplateSpec};
+use learnedwmp::serve::{Engine, WindowPolicy};
+use learnedwmp::sim::{AdmissionController, AdmissionStats};
 use learnedwmp::workloads::QueryRecord;
 
-/// Outcome counts for one admission policy.
-#[derive(Default)]
-struct Tally {
-    admitted_ok: usize,
-    admitted_overflow: usize, // admitted but actually over budget (the bad one)
-    rejected_wasteful: usize, // rejected although it would have fit
-    rejected_ok: usize,
-}
+const WINDOW: usize = 10;
 
 fn main() {
     println!("Generating a JOB-style history (2,300 queries)...");
     let log = learnedwmp::workloads::job::generate(2_300, 2).expect("generation");
     let (train_idx, test_idx) = log.train_test_split(0.8, 42);
     let train: Vec<&QueryRecord> = train_idx.iter().map(|&i| &log.records[i]).collect();
-    let incoming: Vec<&QueryRecord> = test_idx.iter().map(|&i| &log.records[i]).collect();
 
     let model = LearnedWmp::builder()
         .model(ModelKind::Rf)
@@ -40,54 +32,81 @@ fn main() {
         .fit_refs(&train, &log.catalog)
         .expect("training");
 
-    // Budget: the median actual batch demand — a deliberately tight system.
-    let batches = batch_workloads(&incoming, 10, 5, LabelMode::Sum);
-    let mut actuals: Vec<f64> = batches.iter().map(|w| w.y).collect();
+    // Two resident engines gate the same stream: same windowing, different
+    // predictor behind the handle.
+    let engines = [
+        (
+            "LearnedWMP-RF admission gate",
+            Engine::new(PredictorHandle::new(model), WindowPolicy::Count(WINDOW)),
+        ),
+        (
+            "DBMS-heuristic admission gate",
+            Engine::new(PredictorHandle::new(SingleWmpDbms), WindowPolicy::Count(WINDOW)),
+        ),
+    ];
+
+    // Replay the unseen traffic through both engines, collecting each
+    // window's ticketed decision next to its actual collective memory.
+    let incoming = learnedwmp::workloads::QueryLog {
+        benchmark: log.benchmark.clone(),
+        catalog: log.catalog.clone(),
+        records: test_idx.iter().map(|&i| log.records[i].clone()).collect(),
+    };
+    let mut windows: Vec<(f64, [f64; 2])> = Vec::new(); // (actual, predicted per gate)
+    for chunk in incoming.replay(WINDOW) {
+        if chunk.len() < WINDOW {
+            break; // fixed-size windows, as in the paper's evaluation
+        }
+        let mut predicted = [0.0f64; 2];
+        for (slot, (_, engine)) in engines.iter().enumerate() {
+            let tickets: Vec<_> = chunk.iter().map(|r| engine.submit(r.clone())).collect();
+            predicted[slot] = tickets[0].wait().expect("decision").predicted_mb;
+        }
+        let actual: f64 = chunk.iter().map(|r| r.true_memory_mb).sum();
+        windows.push((actual, predicted));
+    }
+
+    // Budget: 1.5x the median actual window demand — a deliberately tight
+    // system where wrong predictions change decisions.
+    let mut actuals: Vec<f64> = windows.iter().map(|(a, _)| *a).collect();
     actuals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let budget = actuals[actuals.len() / 2] * 1.5;
-    println!(
-        "Working-memory budget per batch: {budget:.0} MB ({} incoming batches)\n",
-        batches.len()
-    );
+    println!("Working-memory budget per batch: {budget:.0} MB ({} windows)\n", windows.len());
 
-    // Both gates answer through the same `WorkloadPredictor` trait.
-    let gates: [(&dyn WorkloadPredictor, usize); 2] = [(&model, 0), (&SingleWmpDbms, 1)];
-    let mut tallies = [Tally::default(), Tally::default()];
-    for w in &batches {
-        let qs: Vec<&QueryRecord> = w.query_indices.iter().map(|&i| incoming[i]).collect();
-        let fits = w.y <= budget;
-        for (gate, slot) in gates {
-            let admit = gate.predict_workload(&qs).expect("prediction") <= budget;
-            let tally = &mut tallies[slot];
-            match (admit, fits) {
-                (true, true) => tally.admitted_ok += 1,
-                (true, false) => tally.admitted_overflow += 1,
-                (false, true) => tally.rejected_wasteful += 1,
-                (false, false) => tally.rejected_ok += 1,
-            }
+    // Drive one closed-loop controller per gate on identical traffic; each
+    // window is priced alone (complete before the next offer), so the
+    // tallies isolate pure prediction quality.
+    let mut tallies: Vec<AdmissionStats> = Vec::new();
+    for slot in 0..engines.len() {
+        let mut gate = AdmissionController::new(budget);
+        for (actual, predicted) in &windows {
+            gate.complete_oldest();
+            gate.offer(predicted[slot], *actual);
         }
+        tallies.push(gate.stats());
     }
-    let [learned_tally, heuristic_tally] = tallies;
 
-    let report = |name: &str, t: &Tally| {
-        let total = t.admitted_ok + t.admitted_overflow + t.rejected_wasteful + t.rejected_ok;
-        let wrong = t.admitted_overflow + t.rejected_wasteful;
+    let report = |name: &str, t: &AdmissionStats| {
+        let total = t.admitted + t.rejected;
         println!("{name}:");
-        println!("  admitted & fit            : {:>3}", t.admitted_ok);
+        println!("  admitted & fit            : {:>3}", t.admitted - t.overflow_events);
         println!(
             "  admitted but OVERFLOWED   : {:>3}   <- memory pressure / failures",
-            t.admitted_overflow
+            t.overflow_events
         );
-        println!("  rejected although it fit  : {:>3}   <- wasted capacity", t.rejected_wasteful);
-        println!("  rejected & would overflow : {:>3}", t.rejected_ok);
-        println!("  wrong decisions           : {:>3}/{total}\n", wrong);
+        println!("  rejected although it fit  : {:>3}   <- wasted capacity", t.rejected_would_fit);
+        println!("  rejected & would overflow : {:>3}", t.rejected - t.rejected_would_fit);
+        println!("  wrong decisions           : {:>3}/{total}\n", t.wrong_decisions());
     };
-    report("LearnedWMP-RF admission gate", &learned_tally);
-    report("DBMS-heuristic admission gate", &heuristic_tally);
+    for ((name, engine), tally) in engines.iter().zip(&tallies) {
+        report(name, tally);
+        let stats = engine.stats();
+        assert_eq!(stats.served, stats.submitted, "every submitted query was ticketed");
+    }
 
-    let l_wrong = learned_tally.admitted_overflow + learned_tally.rejected_wasteful;
-    let h_wrong = heuristic_tally.admitted_overflow + heuristic_tally.rejected_wasteful;
     println!(
-        "-> LearnedWMP makes {l_wrong} wrong admission decisions vs the heuristic's {h_wrong}."
+        "-> LearnedWMP makes {} wrong admission decisions vs the heuristic's {}.",
+        tallies[0].wrong_decisions(),
+        tallies[1].wrong_decisions()
     );
 }

@@ -80,5 +80,27 @@ fn main() {
         "  -> LearnedWMP reduces workload memory estimation error by {:.1}%",
         (1.0 - rmses[0] / rmses[1]) * 100.0
     );
+
+    // 6. Go resident: the serving engine shares the model across request
+    //    threads through a hot-swappable handle — submit a stream, get
+    //    per-query tickets, and reload a new artifact with zero downtime.
+    use learnedwmp::core::PredictorHandle;
+    use learnedwmp::serve::{Engine, WindowPolicy};
+    let engine = Engine::new(
+        PredictorHandle::new(LearnedWmp::load_from(&path).expect("load")),
+        WindowPolicy::Count(10),
+    );
+    let tickets: Vec<_> = test[..10].iter().map(|r| engine.submit((*r).clone())).collect();
+    let decision = tickets[0].wait().expect("decision");
+    println!(
+        "\nServing engine: window of {} priced at {:.1} MB by model v{} \
+         (p50 scoring latency {} µs)",
+        decision.window_len,
+        decision.predicted_mb,
+        decision.model_version,
+        engine.stats().p50_latency_us
+    );
+    let v = engine.reload(&path).expect("hot reload");
+    println!("Hot-reloaded the artifact as model v{v} without pausing readers.");
     std::fs::remove_file(&path).ok();
 }

@@ -13,7 +13,8 @@
 //! | [`core`] ([`learnedwmp_core`]) | LearnedWMP + SingleWMP pipelines, templates, histograms, evaluation |
 //! | [`mlkit`] ([`wmp_mlkit`]) | from-scratch ML: k-means, DBSCAN, Ridge, CART, Random Forest, GBDT, MLP |
 //! | [`plan`] ([`wmp_plan`]) | schema/catalog, cardinality estimation, physical planner, plan features |
-//! | [`sim`] ([`wmp_sim`]) | executor memory simulator (ground truth) + DBMS heuristic baseline |
+//! | [`serve`] ([`wmp_serve`]) | thread-safe serving engine: streaming windows, shared handles, hot model swap |
+//! | [`sim`] ([`wmp_sim`]) | executor memory simulator (ground truth) + DBMS heuristic baseline + admission scenario |
 //! | [`workloads`] ([`wmp_workloads`]) | TPC-DS / JOB / TPC-C style generators and query logs |
 //! | [`text`] ([`wmp_text`]) | SQL tokenization, bag-of-words, text-mining, word embeddings |
 //!
@@ -53,6 +54,7 @@
 pub use learnedwmp_core as core;
 pub use wmp_mlkit as mlkit;
 pub use wmp_plan as plan;
+pub use wmp_serve as serve;
 pub use wmp_sim as sim;
 pub use wmp_text as text;
 pub use wmp_workloads as workloads;

@@ -97,7 +97,8 @@ fn histogram_dimension_matches_template_count() {
     learner.fit(&refs, &log.catalog).expect("fit");
     let assigns: Vec<usize> =
         refs[..10].iter().map(|r| learner.assign(r).expect("assign")).collect();
-    let h = build_histogram(&assigns, learner.n_templates(), HistogramMode::Counts);
+    let h =
+        build_histogram(&assigns, learner.n_templates(), HistogramMode::Counts).expect("histogram");
     assert_eq!(h.len(), 15);
     assert_eq!(h.iter().sum::<f64>(), 10.0, "paper eq. 8: sum of counts = s");
 }

@@ -54,7 +54,8 @@ fn histograms_always_sum_to_batch_size() {
         for chunk in refs.chunks(10).take(8) {
             let assigns: Vec<usize> =
                 chunk.iter().map(|r| learner.assign(r).expect("assign")).collect();
-            let h = build_histogram(&assigns, learner.n_templates(), HistogramMode::Counts);
+            let h = build_histogram(&assigns, learner.n_templates(), HistogramMode::Counts)
+                .expect("histogram");
             assert_eq!(h.iter().sum::<f64>() as usize, chunk.len());
         }
     }

@@ -123,9 +123,9 @@ proptest! {
     fn histogram_counts_partition_assignments(
         assigns in prop::collection::vec(0usize..12, 1..40)
     ) {
-        let h = build_histogram(&assigns, 12, HistogramMode::Counts);
+        let h = build_histogram(&assigns, 12, HistogramMode::Counts).unwrap();
         prop_assert_eq!(h.iter().sum::<f64>() as usize, assigns.len());
-        let hf = build_histogram(&assigns, 12, HistogramMode::Frequencies);
+        let hf = build_histogram(&assigns, 12, HistogramMode::Frequencies).unwrap();
         prop_assert!((hf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
