@@ -3,13 +3,18 @@
 //! writer hot-swapping the model underneath them — plus the full
 //! [`Engine`] submit → window → resolve path. Besides the per-iteration
 //! criterion timings, the bench prints **aggregate queries/sec** for each
-//! concurrency level, the number a capacity planner actually wants.
+//! concurrency level, the number a capacity planner actually wants, and
+//! persists the run as `BENCH_serving_throughput.json` at the repository
+//! root (schema: [`wmp_bench::report`]) so throughput is tracked across
+//! commits.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use learnedwmp_core::{LearnedWmp, ModelKind, PredictorHandle, TemplateSpec};
+use wmp_bench::report::BenchReport;
+use wmp_obs::Histogram;
 use wmp_serve::{Engine, WindowPolicy};
 use wmp_workloads::QueryRecord;
 
@@ -24,15 +29,23 @@ fn trained(log: &wmp_workloads::QueryLog, kind: ModelKind, seed: u64) -> Learned
 }
 
 /// Runs `readers` threads, each predicting every window once through the
-/// handle (snapshot per window, as the engine does), and returns aggregate
-/// queries scored per second.
-fn aggregate_qps(handle: &PredictorHandle, windows: &[Vec<&QueryRecord>], readers: usize) -> f64 {
+/// handle (snapshot per window, as the engine does), recording per-window
+/// latencies into `latency`, and returns aggregate queries scored per
+/// second.
+fn aggregate_qps(
+    handle: &PredictorHandle,
+    windows: &[Vec<&QueryRecord>],
+    readers: usize,
+    latency: &Histogram,
+) -> f64 {
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..readers {
             scope.spawn(|| {
                 for w in windows {
+                    let w0 = Instant::now();
                     black_box(handle.snapshot().predict_workload(w).expect("prediction"));
+                    latency.record_duration(w0.elapsed());
                 }
             });
         }
@@ -107,17 +120,47 @@ fn bench_serving_throughput(c: &mut Criterion) {
     });
     group.finish();
 
-    // Aggregate throughput: the headline queries/sec numbers.
-    if !test_mode {
-        for readers in [1, 2, 4, 8] {
-            let qps = aggregate_qps(&handle, &windows, readers);
-            println!(
-                "serving_throughput/aggregate {readers} reader(s): {qps:>10.0} queries/sec \
-                 ({:.0} windows/sec)",
-                qps / WINDOW as f64
-            );
-        }
+    // Aggregate throughput: the headline queries/sec numbers, persisted as
+    // the BENCH_serving_throughput.json trajectory point. Test mode runs
+    // the same path on the reduced corpus so CI exercises (and validates)
+    // the report format.
+    let reader_counts: &[usize] = if test_mode { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut report = BenchReport::new("serving_throughput", test_mode);
+    report
+        .config_num("n_queries", n_queries as f64)
+        .config_num("window", WINDOW as f64)
+        .config_str("dataset", "tpcc")
+        .config_str("model", "LearnedWMP-XGB");
+    for &readers in reader_counts {
+        let latency = Histogram::default();
+        let qps = aggregate_qps(&handle, &windows, readers, &latency);
+        println!(
+            "serving_throughput/aggregate {readers} reader(s): {qps:>10.0} queries/sec \
+             ({:.0} windows/sec)",
+            qps / WINDOW as f64
+        );
+        report.result(&format!("handle_{readers}_readers"), qps, Some(&latency));
     }
+    // The full engine path (submit → window → resolve), single-threaded.
+    {
+        let engine = Engine::new(handle.clone(), WindowPolicy::Count(WINDOW));
+        let latency = Histogram::default();
+        let t0 = Instant::now();
+        let iterations = if test_mode { 2 } else { 20 };
+        for _ in 0..iterations {
+            let i0 = Instant::now();
+            let tickets: Vec<_> = log.records.iter().map(|r| engine.submit(r.clone())).collect();
+            engine.drain();
+            for t in &tickets {
+                black_box(t.wait().expect("decision"));
+            }
+            latency.record_duration(i0.elapsed());
+        }
+        let qps = (iterations * log.records.len()) as f64 / t0.elapsed().as_secs_f64();
+        report.result("engine_submit_window_resolve", qps, None);
+        println!("serving_throughput/engine: {qps:>10.0} queries/sec");
+    }
+    report.write();
 }
 
 criterion_group!(benches, bench_serving_throughput);

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use learnedwmp_core::{EvalConfig, ExperimentConfig};
 use wmp_workloads::QueryLog;
 

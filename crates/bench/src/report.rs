@@ -1,0 +1,241 @@
+//! Persisted benchmark trajectory: every perf-sensitive bench writes a
+//! `BENCH_<name>.json` file at the repository root so regressions are
+//! visible across commits (compare the file in git history against the
+//! current run).
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "serving_throughput",
+//!   "git": "<git describe --always --dirty, or \"unknown\">",
+//!   "test_mode": false,
+//!   "config": { "<key>": <number|string>, ... },
+//!   "results": [
+//!     {
+//!       "name": "handle_1_reader",
+//!       "qps": 123456.0,
+//!       "ns_per_query": 8100.0,
+//!       "p50_us": 81.5,
+//!       "p99_us": 130.0
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `config` keys are bench-specific (corpus size, window size, reader
+//! counts). Every entry in `results` carries at least `name` and `qps`;
+//! `ns_per_query` is `1e9 / qps`, and the latency quantiles (`p50_us`,
+//! `p99_us`, interpolated from a [`wmp_obs::Histogram`]) are present when
+//! the bench records per-operation latencies. `test_mode` marks reduced
+//! CI runs (`cargo bench ... -- --test`), whose numbers are smoke-test
+//! artifacts, not trajectory points.
+
+use std::path::PathBuf;
+
+use wmp_obs::JsonValue;
+
+/// Current schema version written by [`BenchReport::write`].
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// One bench's persisted result file, accumulated then written at the end
+/// of the bench run.
+pub struct BenchReport {
+    bench: String,
+    test_mode: bool,
+    config: Vec<(String, JsonValue)>,
+    results: Vec<JsonValue>,
+}
+
+impl BenchReport {
+    /// Starts a report for `bench` (the `BENCH_<bench>.json` stem).
+    /// `test_mode` marks reduced CI runs.
+    pub fn new(bench: &str, test_mode: bool) -> Self {
+        BenchReport { bench: bench.to_string(), test_mode, config: Vec::new(), results: Vec::new() }
+    }
+
+    /// Records one numeric configuration entry.
+    pub fn config_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.config.push((key.to_string(), JsonValue::Number(value)));
+        self
+    }
+
+    /// Records one string configuration entry.
+    pub fn config_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.config.push((key.to_string(), JsonValue::String(value.to_string())));
+        self
+    }
+
+    /// Records one named throughput result. `latency` adds interpolated
+    /// p50/p99 (µs) when the bench tracked per-operation latencies.
+    pub fn result(
+        &mut self,
+        name: &str,
+        qps: f64,
+        latency: Option<&wmp_obs::Histogram>,
+    ) -> &mut Self {
+        let mut fields = vec![
+            ("name".to_string(), JsonValue::String(name.to_string())),
+            ("qps".to_string(), JsonValue::Number(qps)),
+            (
+                "ns_per_query".to_string(),
+                JsonValue::Number(if qps > 0.0 { 1e9 / qps } else { 0.0 }),
+            ),
+        ];
+        if let Some(h) = latency {
+            fields.push(("p50_us".to_string(), JsonValue::Number(h.quantile(0.50))));
+            fields.push(("p99_us".to_string(), JsonValue::Number(h.quantile(0.99))));
+        }
+        self.results.push(JsonValue::Object(fields));
+        self
+    }
+
+    /// The report as a JSON value (what [`BenchReport::write`] persists).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("schema_version".to_string(), JsonValue::Number(SCHEMA_VERSION)),
+            ("bench".to_string(), JsonValue::String(self.bench.clone())),
+            ("git".to_string(), JsonValue::String(git_describe())),
+            ("test_mode".to_string(), JsonValue::Bool(self.test_mode)),
+            ("config".to_string(), JsonValue::Object(self.config.clone())),
+            ("results".to_string(), JsonValue::Array(self.results.clone())),
+        ])
+    }
+
+    /// Writes `BENCH_<bench>.json` at the repository root and returns the
+    /// path. Failures are printed, not fatal — a read-only checkout must
+    /// not fail the bench itself.
+    pub fn write(&self) -> Option<PathBuf> {
+        let path = repo_root().join(format!("BENCH_{}.json", self.bench));
+        let mut body = self.to_json().render();
+        body.push('\n');
+        match std::fs::write(&path, body) {
+            Ok(()) => {
+                println!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("could not write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// The repository root (two levels above this crate's manifest).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git is unavailable (e.g. a source tarball).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Validates one persisted bench report against the schema (used by the
+/// `validate_bench` binary and tests).
+///
+/// # Errors
+/// Returns a description of the first violation found.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let value = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = value
+        .get("schema_version")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing numeric schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    value.get("bench").and_then(JsonValue::as_str).ok_or("missing string bench")?;
+    value.get("git").and_then(JsonValue::as_str).ok_or("missing string git")?;
+    value.get("config").ok_or("missing config object")?;
+    let results =
+        value.get("results").and_then(JsonValue::as_array).ok_or("missing results array")?;
+    if results.is_empty() {
+        return Err("results array is empty".to_string());
+    }
+    for (i, entry) in results.iter().enumerate() {
+        entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("results[{i}]: missing name"))?;
+        let qps = entry
+            .get("qps")
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("results[{i}]: missing numeric qps"))?;
+        if !qps.is_finite() || qps <= 0.0 {
+            return Err(format!("results[{i}]: qps must be finite and positive, got {qps}"));
+        }
+        entry
+            .get("ns_per_query")
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("results[{i}]: missing numeric ns_per_query"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_the_validator() {
+        let latency = wmp_obs::Histogram::default();
+        for us in [50, 80, 120, 90, 75] {
+            latency.record(us);
+        }
+        let mut report = BenchReport::new("unit_test", true);
+        report
+            .config_num("n_queries", 200.0)
+            .config_str("dataset", "tpcc")
+            .result("fast_path", 125_000.0, Some(&latency))
+            .result("slow_path", 2_500.0, None);
+        let text = report.to_json().render();
+        validate_report(&text).expect("fresh report validates");
+        let value = JsonValue::parse(&text).unwrap();
+        assert_eq!(value.get("bench").and_then(JsonValue::as_str), Some("unit_test"));
+        let results = value.get("results").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        let fast = &results[0];
+        assert!(fast.get("p50_us").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        let ns = fast.get("ns_per_query").and_then(JsonValue::as_f64).unwrap();
+        assert!((ns - 8_000.0).abs() < 1.0, "1e9/125k = 8000, got {ns}");
+        assert!(results[1].get("p50_us").is_none(), "no latency histogram, no quantiles");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        assert!(validate_report("not json").is_err());
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report(
+            r#"{"schema_version": 1, "bench": "x", "git": "g", "config": {}, "results": []}"#
+        )
+        .is_err());
+        assert!(validate_report(
+            r#"{"schema_version": 1, "bench": "x", "git": "g", "config": {},
+                "results": [{"name": "a", "qps": 0, "ns_per_query": 0}]}"#
+        )
+        .is_err());
+        assert!(validate_report(
+            r#"{"schema_version": 2, "bench": "x", "git": "g", "config": {}, "results": []}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn git_describe_reports_this_checkout() {
+        // In the repo this returns a short hash; in a tarball "unknown".
+        assert!(!git_describe().is_empty());
+    }
+}

@@ -51,6 +51,7 @@ use std::path::Path;
 
 use wmp_mlkit::codec as c;
 use wmp_mlkit::{MlError, MlResult, Regressor};
+use wmp_obs::Level;
 
 use crate::histogram::HistogramMode;
 use crate::learned::{LearnedWmp, LearnedWmpConfig, TrainTimings};
@@ -236,6 +237,12 @@ impl LearnedWmp {
     /// Returns [`MlError::Codec`] on serialization or I/O failure.
     pub fn save_to(&self, path: impl AsRef<Path>) -> MlResult<()> {
         let path = path.as_ref();
+        let span = wmp_obs::span!(
+            Level::Info,
+            target: "wmp_core::codec",
+            "model_save",
+            path = path.display().to_string(),
+        );
         let mut bytes = Vec::with_capacity(4096);
         self.save_to_writer(&mut bytes)?;
         let mut tmp = path.as_os_str().to_owned();
@@ -248,7 +255,15 @@ impl LearnedWmp {
         std::fs::rename(&tmp, path).map_err(|e| {
             std::fs::remove_file(&tmp).ok();
             MlError::Codec(format!("rename {} -> {}: {e}", tmp.display(), path.display()))
-        })
+        })?;
+        wmp_obs::event!(
+            Level::Info,
+            target: "wmp_core::codec",
+            "model_saved",
+            bytes = bytes.len(),
+        );
+        drop(span);
+        Ok(())
     }
 
     /// Loads a model written by [`LearnedWmp::save_to_writer`], verifying
@@ -332,9 +347,17 @@ impl LearnedWmp {
     /// Same conditions as [`LearnedWmp::load_from_reader`], plus file-open
     /// failures.
     pub fn load_from(path: impl AsRef<Path>) -> MlResult<Self> {
+        let span = wmp_obs::span!(
+            Level::Info,
+            target: "wmp_core::codec",
+            "model_load",
+            path = path.as_ref().display().to_string(),
+        );
         let mut file = std::fs::File::open(path.as_ref())
             .map_err(|e| MlError::Codec(format!("open {}: {e}", path.as_ref().display())))?;
-        Self::load_from_reader(&mut file)
+        let model = Self::load_from_reader(&mut file)?;
+        drop(span);
+        Ok(model)
     }
 }
 

@@ -22,8 +22,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 use wmp_mlkit::MlResult;
+use wmp_obs::Level;
 use wmp_workloads::QueryRecord;
 
 use crate::predictor::WorkloadPredictor;
@@ -37,6 +39,7 @@ use crate::workload::Workload;
 pub struct ModelSnapshot {
     model: Arc<dyn WorkloadPredictor>,
     version: u64,
+    installed_at: Instant,
 }
 
 impl ModelSnapshot {
@@ -49,6 +52,14 @@ impl ModelSnapshot {
     /// The pinned model.
     pub fn model(&self) -> &dyn WorkloadPredictor {
         self.model.as_ref()
+    }
+
+    /// Time since this model version was installed into its handle — the
+    /// "model age" signal an operator watches to confirm retraining is
+    /// actually publishing (a forever-growing age means the background
+    /// loop died or stopped triggering).
+    pub fn age(&self) -> Duration {
+        self.installed_at.elapsed()
     }
 }
 
@@ -112,7 +123,11 @@ impl PredictorHandle {
     pub fn from_shared(model: Arc<dyn WorkloadPredictor>) -> Self {
         PredictorHandle {
             state: Arc::new(HandleState {
-                current: RwLock::new(ModelSnapshot { model, version: 0 }),
+                current: RwLock::new(ModelSnapshot {
+                    model,
+                    version: 0,
+                    installed_at: Instant::now(),
+                }),
                 next_version: AtomicU64::new(1),
                 swaps: AtomicU64::new(0),
             }),
@@ -151,9 +166,20 @@ impl PredictorHandle {
         // versions are monotonic in installation order even under
         // concurrent writers.
         let version = self.state.next_version.fetch_add(1, Ordering::Relaxed);
-        let previous = std::mem::replace(&mut *slot, ModelSnapshot { model, version });
+        let previous = std::mem::replace(
+            &mut *slot,
+            ModelSnapshot { model, version, installed_at: Instant::now() },
+        );
         drop(slot);
         self.state.swaps.fetch_add(1, Ordering::Relaxed);
+        wmp_obs::event!(
+            Level::Info,
+            target: "wmp_core::handle",
+            "model_swap",
+            version = version,
+            previous_version = previous.version,
+            previous_age_us = previous.installed_at.elapsed().as_micros() as u64,
+        );
         SwapOutcome { previous, version }
     }
 
@@ -205,6 +231,10 @@ impl WorkloadPredictor for PredictorHandle {
 
     fn footprint_bytes(&self) -> usize {
         self.snapshot().footprint_bytes()
+    }
+
+    fn assign_template(&self, query: &QueryRecord) -> MlResult<Option<usize>> {
+        self.snapshot().assign_template(query)
     }
 }
 

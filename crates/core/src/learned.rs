@@ -263,6 +263,41 @@ impl LearnedWmp {
         Ok(preds)
     }
 
+    /// Assigns one query to its learned template (IN3 for a single record) —
+    /// the signal a drift monitor consumes to track the live template
+    /// distribution against training.
+    ///
+    /// # Errors
+    /// Propagates template-assignment errors.
+    pub fn assign_template(&self, query: &QueryRecord) -> MlResult<usize> {
+        self.templates.assign(query)
+    }
+
+    /// The normalized template distribution of a record set — each entry is
+    /// the fraction of `records` assigned to that template. Computed over
+    /// the training log, this is the reference distribution a
+    /// `wmp_obs::DriftMonitor` compares live traffic against.
+    ///
+    /// # Errors
+    /// Propagates assignment errors; fails on an empty record set.
+    pub fn template_distribution(&self, records: &[&QueryRecord]) -> MlResult<Vec<f64>> {
+        if records.is_empty() {
+            return Err(wmp_mlkit::error::dim_mismatch("at least one record", "0 records"));
+        }
+        let mut counts = vec![0.0; self.templates.n_templates()];
+        for r in records {
+            let a = self.templates.assign(r)?;
+            if a < counts.len() {
+                counts[a] += 1.0;
+            }
+        }
+        let total = records.len() as f64;
+        for c in &mut counts {
+            *c /= total;
+        }
+        Ok(counts)
+    }
+
     /// The trained distribution regressor.
     pub fn regressor(&self) -> &dyn Regressor {
         self.regressor.as_ref()

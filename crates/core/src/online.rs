@@ -4,6 +4,7 @@
 //! workload drift) over time.
 
 use wmp_mlkit::{MlError, MlResult};
+use wmp_obs::Level;
 use wmp_plan::Catalog;
 use wmp_workloads::QueryRecord;
 
@@ -120,16 +121,38 @@ impl OnlineWmp {
     /// # Errors
     /// Propagates training errors (e.g. not enough history for one batch).
     pub fn retrain(&mut self, catalog: &Catalog) -> MlResult<()> {
+        let span = wmp_obs::span!(
+            Level::Info,
+            target: "wmp_core::online",
+            "retrain",
+            window_len = self.buffer.len(),
+            pass = self.retrain_count + 1,
+        );
         let refs: Vec<&QueryRecord> = self.buffer.iter().collect();
         let templates: Box<dyn TemplateLearner> = Box::new(PlanKMeansTemplates::new(
             self.policy.k_templates,
             self.config.seed ^ self.retrain_count as u64,
         ));
-        self.model =
-            Some(LearnedWmp::fit_impl(self.config.clone(), templates, &refs, catalog, None)?);
-        self.since_train = 0;
-        self.retrain_count += 1;
-        Ok(())
+        let fitted = LearnedWmp::fit_impl(self.config.clone(), templates, &refs, catalog, None);
+        match fitted {
+            Ok(model) => {
+                self.model = Some(model);
+                self.since_train = 0;
+                self.retrain_count += 1;
+                drop(span);
+                Ok(())
+            }
+            Err(err) => {
+                wmp_obs::event!(
+                    Level::Warn,
+                    target: "wmp_core::online",
+                    "retrain_failed",
+                    window_len = self.buffer.len(),
+                    error = err.to_string(),
+                );
+                Err(err)
+            }
+        }
     }
 
     /// Predicts an unseen workload's memory demand.

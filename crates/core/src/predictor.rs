@@ -81,6 +81,17 @@ pub trait WorkloadPredictor: Send + Sync {
     /// Size of the learned parameters in bytes (0 for pure heuristics) — the
     /// quantity behind the paper's Fig. 8.
     fn footprint_bytes(&self) -> usize;
+
+    /// Maps one query to the model's template id, when the model has a
+    /// notion of templates (`None` otherwise — the default, used by the
+    /// SingleWMP families). Observability hooks use this to track the live
+    /// template distribution for drift detection without downcasting.
+    ///
+    /// # Errors
+    /// Propagates assignment errors from template-based models.
+    fn assign_template(&self, _query: &QueryRecord) -> MlResult<Option<usize>> {
+        Ok(None)
+    }
 }
 
 impl WorkloadPredictor for LearnedWmp {
@@ -104,6 +115,10 @@ impl WorkloadPredictor for LearnedWmp {
 
     fn footprint_bytes(&self) -> usize {
         LearnedWmp::footprint_bytes(self)
+    }
+
+    fn assign_template(&self, query: &QueryRecord) -> MlResult<Option<usize>> {
+        LearnedWmp::assign_template(self, query).map(Some)
     }
 }
 
@@ -167,6 +182,13 @@ impl WorkloadPredictor for OnlineWmp {
 
     fn footprint_bytes(&self) -> usize {
         self.model().map_or(0, LearnedWmp::footprint_bytes)
+    }
+
+    fn assign_template(&self, query: &QueryRecord) -> MlResult<Option<usize>> {
+        match self.model() {
+            Some(m) => LearnedWmp::assign_template(m, query).map(Some),
+            None => Ok(None),
+        }
     }
 }
 

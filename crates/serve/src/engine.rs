@@ -10,9 +10,11 @@ use std::time::Instant;
 use learnedwmp_core::handle::PredictorHandle;
 use learnedwmp_core::{LearnedWmp, OnlineWmp, WorkloadPredictor};
 use wmp_mlkit::{MlError, MlResult};
+use wmp_obs::Level;
 use wmp_plan::Catalog;
 use wmp_workloads::QueryRecord;
 
+use crate::obs::{EngineObs, ObsConfig};
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::ticket::{QueryTicket, TicketState, WorkloadDecision};
 
@@ -87,6 +89,7 @@ pub struct Engine {
     window_seq: AtomicU64,
     query_seq: AtomicU64,
     stats: Arc<EngineStats>,
+    obs: Option<Arc<EngineObs>>,
     retrainer: Option<Retrainer>,
 }
 
@@ -101,8 +104,23 @@ impl Engine {
             window_seq: AtomicU64::new(0),
             query_seq: AtomicU64::new(0),
             stats: Arc::new(EngineStats::default()),
+            obs: None,
             retrainer: None,
         }
+    }
+
+    /// Attaches registry-backed observability (see [`ObsConfig`]): serving
+    /// counters, the window-scoring latency histogram, model version/age
+    /// gauges, rolling prediction quality, and (when a drift reference is
+    /// configured) the template-drift score all publish into
+    /// `config.registry` from this call on.
+    ///
+    /// Call this **before** [`Engine::with_retraining`] — the retraining
+    /// thread captures the observability handles when it starts, so a later
+    /// attachment is invisible to it.
+    pub fn with_observability(mut self, config: ObsConfig) -> Self {
+        self.obs = Some(Arc::new(EngineObs::new(config)));
+        self
     }
 
     /// Attaches a background retraining loop: records passed to
@@ -115,6 +133,7 @@ impl Engine {
         let (tx, rx) = mpsc::channel::<QueryRecord>();
         let handle = self.handle.clone();
         let stats = Arc::clone(&self.stats);
+        let obs = self.obs.clone();
         let join = std::thread::spawn(move || {
             let mut online = online;
             while let Ok(record) = rx.recv() {
@@ -130,18 +149,47 @@ impl Engine {
                             .and_then(LearnedWmp::codec_clone);
                         match published {
                             Ok(model) => {
-                                handle.swap(model);
+                                let outcome = handle.swap(model);
                                 stats.swaps.fetch_add(1, Ordering::Relaxed);
                                 stats.retrains.fetch_add(1, Ordering::Relaxed);
+                                if let Some(obs) = &obs {
+                                    obs.swaps.inc();
+                                    obs.retrains.inc();
+                                }
+                                wmp_obs::event!(
+                                    Level::Info,
+                                    target: "wmp_serve::engine",
+                                    "retrain_published",
+                                    version = outcome.version,
+                                    passes = online.retrain_count(),
+                                );
                             }
-                            Err(_) => {
+                            Err(e) => {
                                 stats.retrain_failures.fetch_add(1, Ordering::Relaxed);
+                                if let Some(obs) = &obs {
+                                    obs.retrain_failures.inc();
+                                }
+                                wmp_obs::event!(
+                                    Level::Warn,
+                                    target: "wmp_serve::engine",
+                                    "retrain_publish_failed",
+                                    error = e.to_string(),
+                                );
                             }
                         }
                     }
                     Ok(_) => {}
-                    Err(_) => {
+                    Err(e) => {
                         stats.retrain_failures.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &obs {
+                            obs.retrain_failures.inc();
+                        }
+                        wmp_obs::event!(
+                            Level::Warn,
+                            target: "wmp_serve::engine",
+                            "retrain_failed",
+                            error = e.to_string(),
+                        );
                     }
                 }
             }
@@ -156,20 +204,30 @@ impl Engine {
     /// thread before returning (so the returned ticket is already resolved).
     pub fn submit(&self, record: QueryRecord) -> QueryTicket {
         let seq = self.query_seq.fetch_add(1, Ordering::Relaxed);
+        // `submitted` increments before the query enters the pending window
+        // — rule 1 of the stats coherence contract (see `crate::stats`).
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.submitted.inc();
+        }
         let state = TicketState::new();
         let ticket = QueryTicket { seq, state: Arc::clone(&state) };
 
-        let closed = {
+        let (closed, pending_len) = {
             let mut pending =
                 self.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             pending.records.push(record);
             pending.tickets.push(state);
             match self.policy {
-                WindowPolicy::Count(s) if pending.records.len() >= s.max(1) => Some(pending.take()),
-                _ => None,
+                WindowPolicy::Count(s) if pending.records.len() >= s.max(1) => {
+                    (Some(pending.take()), 0)
+                }
+                _ => (None, pending.records.len()),
             }
         };
+        if let Some(obs) = &self.obs {
+            obs.pending.set(pending_len as f64);
+        }
         if let Some(window) = closed {
             self.score_window(window);
         }
@@ -181,6 +239,9 @@ impl Engine {
     /// was pending).
     pub fn drain(&self) -> usize {
         let window = self.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        if let Some(obs) = &self.obs {
+            obs.pending.set(0.0);
+        }
         let n = window.records.len();
         if n > 0 {
             self.score_window(window);
@@ -196,16 +257,37 @@ impl Engine {
     fn score_window(&self, window: Pending) {
         debug_assert_eq!(window.records.len(), window.tickets.len());
         let window_id = self.window_seq.fetch_add(1, Ordering::Relaxed);
+        let span = wmp_obs::span!(
+            Level::Debug,
+            target: "wmp_serve::engine",
+            "score_window",
+            window_id = window_id,
+            window_len = window.records.len(),
+        );
         let t0 = Instant::now();
         let snapshot = self.handle.snapshot();
         let refs: Vec<&QueryRecord> = window.records.iter().collect();
         let result = snapshot.predict_workload(&refs);
-        self.stats.latency.record(t0.elapsed());
+        let elapsed = t0.elapsed();
+        self.stats.latency.record_duration(elapsed);
         self.stats.windows.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.score_latency.record_duration(elapsed);
+            obs.windows.inc();
+            obs.model_version.set(snapshot.version() as f64);
+            obs.model_age_seconds.set(snapshot.age().as_secs_f64());
+        }
         let n = window.tickets.len() as u64;
+        // `Release` on the resolution counters pairs with the snapshot's
+        // `Acquire` loads — rule 2 of the stats coherence contract: the
+        // window left `pending` (the caller took it under the lock) before
+        // these increments become visible.
         let resolution = match result {
             Ok(predicted_mb) => {
-                self.stats.served.fetch_add(n, Ordering::Relaxed);
+                self.stats.served.fetch_add(n, Ordering::Release);
+                if let Some(obs) = &self.obs {
+                    obs.served.add(n);
+                }
                 Ok(WorkloadDecision {
                     window_id,
                     predicted_mb,
@@ -214,19 +296,39 @@ impl Engine {
                 })
             }
             Err(e) => {
-                self.stats.failed.fetch_add(n, Ordering::Relaxed);
+                self.stats.failed.fetch_add(n, Ordering::Release);
+                if let Some(obs) = &self.obs {
+                    obs.failed.add(n);
+                }
+                wmp_obs::event!(
+                    Level::Warn,
+                    target: "wmp_serve::engine",
+                    "window_score_failed",
+                    window_id = window_id,
+                    error = e.to_string(),
+                );
                 Err(e)
             }
         };
         for ticket in &window.tickets {
             ticket.resolve(resolution.clone());
         }
+        drop(span);
     }
 
     /// Streams one executed query (with its measured memory) to the
-    /// background retrainer. Returns `false` — and drops the record — when
-    /// no retrainer is attached or its thread has stopped.
+    /// background retrainer, and feeds the observability monitors
+    /// (prediction quality, template drift) when attached. Returns `false`
+    /// — and drops the record for retraining purposes — when no retrainer
+    /// is attached or its thread has stopped; quality/drift accounting
+    /// still happens in that case, so monitoring works on engines that
+    /// retrain by explicit [`Engine::reload`]/[`Engine::install`] instead.
     pub fn observe(&self, record: QueryRecord) -> bool {
+        // Account before forwarding: the record is moved into the channel.
+        if let Some(obs) = &self.obs {
+            obs.observed.inc();
+            obs.account_observation(self.handle.snapshot().model(), &record);
+        }
         let Some(retrainer) = &self.retrainer else { return false };
         let Some(tx) = &retrainer.tx else { return false };
         if tx.send(record).is_ok() {
@@ -256,6 +358,15 @@ impl Engine {
     pub fn install(&self, model: impl WorkloadPredictor + 'static) -> u64 {
         let outcome = self.handle.swap(model);
         self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.swaps.inc();
+        }
+        wmp_obs::event!(
+            Level::Info,
+            target: "wmp_serve::engine",
+            "model_install",
+            version = outcome.version,
+        );
         outcome.version
     }
 
@@ -265,9 +376,28 @@ impl Engine {
         &self.handle
     }
 
-    /// Point-in-time serving telemetry.
+    /// Point-in-time serving telemetry. The snapshot satisfies
+    /// `submitted >= served + failed + pending` even while submissions and
+    /// scoring race with this call — see the coherence contract in
+    /// [`crate::stats`].
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let snap = self.stats.snapshot_with_pending(|| self.pending_len() as u64);
+        debug_assert!(
+            snap.submitted >= snap.resolved() + snap.pending,
+            "stats coherence violated: submitted {} < resolved {} + pending {}",
+            snap.submitted,
+            snap.resolved(),
+            snap.pending,
+        );
+        snap
+    }
+
+    /// The observability registry attached via [`Engine::with_observability`]
+    /// (`None` when observability is not attached) — the handle to render
+    /// [`wmp_obs::Snapshot::to_prometheus`] /
+    /// [`wmp_obs::Snapshot::to_json`] expositions from.
+    pub fn obs_registry(&self) -> Option<&Arc<wmp_obs::Registry>> {
+        self.obs.as_ref().map(|obs| &obs.registry)
     }
 }
 

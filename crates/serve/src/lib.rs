@@ -16,6 +16,11 @@
 //!   while a writer installs a replacement without blocking them.
 //! - [`EngineStats`] — lock-free serving telemetry (counters plus p50/p99
 //!   window-scoring latency).
+//! - [`ObsConfig`] / [`Engine::with_observability`] — registry-backed
+//!   observability: the same counters published as exportable `wmp_*`
+//!   metrics (Prometheus/JSON via [`wmp_obs`]), plus rolling prediction
+//!   quality (MAE, within-one-bucket accuracy) and a template-distribution
+//!   drift score fed by [`Engine::observe`].
 //!
 //! ## Windowing policies and the paper's workload definition
 //!
@@ -70,11 +75,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod obs;
 pub mod stats;
 pub mod ticket;
 
 pub use engine::{Engine, WindowPolicy};
 pub use learnedwmp_core::handle::{ModelSnapshot, PredictorHandle};
+pub use obs::ObsConfig;
 pub use stats::{EngineStats, StatsSnapshot};
 pub use ticket::{QueryTicket, WorkloadDecision};
 
@@ -250,6 +257,91 @@ mod tests {
         let ticket = engine.submit(log.records[0].clone());
         drop(engine);
         assert!(ticket.wait().is_err(), "no waiter blocks forever on shutdown");
+    }
+
+    #[test]
+    fn observability_publishes_serving_metrics_and_quality() {
+        let log = wmp_workloads::tpcc::generate(300, 11).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 11);
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let reference = model.template_distribution(&refs).unwrap();
+
+        let config = ObsConfig::default().with_drift_reference(reference);
+        let registry = std::sync::Arc::clone(&config.registry);
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(10))
+            .with_observability(config);
+
+        for r in &log.records[..40] {
+            engine.submit(r.clone());
+        }
+        // No retrainer attached: observe still feeds quality + drift.
+        for r in &log.records[..40] {
+            assert!(!engine.observe(r.clone()));
+        }
+
+        let snap = registry.snapshot();
+        let get = |name: &str| snap.get(name, &[]).cloned().unwrap_or_else(|| panic!("{name}"));
+        assert!(matches!(get("wmp_queries_submitted_total"), wmp_obs::MetricValue::Counter(40)));
+        assert!(matches!(get("wmp_queries_served_total"), wmp_obs::MetricValue::Counter(40)));
+        assert!(matches!(get("wmp_windows_scored_total"), wmp_obs::MetricValue::Counter(4)));
+        assert!(matches!(get("wmp_queries_observed_total"), wmp_obs::MetricValue::Counter(40)));
+        assert!(
+            matches!(get("wmp_quality_windows_total"), wmp_obs::MetricValue::Counter(4)),
+            "40 observations / quality_batch 10"
+        );
+        match get("wmp_window_score_latency_us") {
+            wmp_obs::MetricValue::Histogram(h) => assert_eq!(h.count, 4),
+            other => panic!("latency should be a histogram, got {other:?}"),
+        }
+        match get("wmp_prediction_mae_mb") {
+            wmp_obs::MetricValue::Gauge(mae) => assert!(mae.is_finite() && mae >= 0.0),
+            other => panic!("mae should be a gauge, got {other:?}"),
+        }
+        match get("wmp_template_drift_score") {
+            // 40 live assignments from the training log itself: low drift.
+            wmp_obs::MetricValue::Gauge(score) => {
+                assert!((0.0..=1.0).contains(&score), "drift in [0,1], got {score}")
+            }
+            other => panic!("drift should be a gauge, got {other:?}"),
+        }
+        let text = snap.to_prometheus();
+        assert!(text.contains("wmp_queries_submitted_total 40"));
+        assert!(text.contains("wmp_window_score_latency_us_count 4"));
+    }
+
+    #[test]
+    fn stats_stay_coherent_under_concurrent_load() {
+        let log = wmp_workloads::tpcc::generate(400, 13).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 13);
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(7));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let engine = &engine;
+                let records = &log.records;
+                scope.spawn(move || {
+                    for r in records[t * 100..(t + 1) * 100].iter() {
+                        engine.submit(r.clone());
+                    }
+                });
+            }
+            // Reader thread: the invariant must hold mid-flight, on every
+            // single snapshot, while submissions and scoring race.
+            let engine = &engine;
+            scope.spawn(move || {
+                for _ in 0..2_000 {
+                    let snap = engine.stats();
+                    assert!(
+                        snap.submitted >= snap.resolved() + snap.pending,
+                        "coherence violated mid-flight: {snap:?}"
+                    );
+                }
+            });
+        });
+        engine.drain();
+        let snap = engine.stats();
+        assert_eq!(snap.submitted, 400);
+        assert_eq!(snap.resolved(), 400);
+        assert_eq!(snap.pending, 0);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Registry-backed observability for the serving engine: metric publication,
+//! rolling prediction-quality tracking, and template-distribution drift.
+//!
+//! [`crate::Engine::with_observability`] attaches an [`ObsConfig`] to an
+//! engine; from then on every submit/score/observe/install publishes into
+//! the configured [`wmp_obs::Registry`] under the `wmp_*` metric names (see
+//! the README's metrics catalog). The engine works identically without this
+//! — [`crate::EngineStats`] keeps its lock-free counters either way; the
+//! registry adds the exportable (Prometheus/JSON) view plus the two derived
+//! signals a dashboard actually alarms on:
+//!
+//! - **Prediction quality** — [`Engine::observe`](crate::Engine::observe)d
+//!   queries are grouped into evaluation batches of
+//!   [`ObsConfig::quality_batch`]; each batch is re-predicted through the
+//!   current model and compared against the sum of measured true memory,
+//!   feeding a rolling [`wmp_obs::QualityMonitor`] published as
+//!   `wmp_prediction_mae_mb` and `wmp_prediction_within_one_bucket_ratio`.
+//! - **Template drift** — when [`ObsConfig::drift_reference`] supplies the
+//!   training-time template distribution (see
+//!   [`learnedwmp_core::LearnedWmp::template_distribution`]), each observed
+//!   query is assigned to its template and fed to a rolling
+//!   [`wmp_obs::DriftMonitor`]; the total-variation score is published as
+//!   `wmp_template_drift_score`.
+
+use std::sync::{Arc, Mutex};
+
+use learnedwmp_core::WorkloadPredictor;
+use wmp_obs::{Counter, DriftMonitor, Gauge, Histogram, QualityMonitor, Registry};
+use wmp_workloads::QueryRecord;
+
+/// Configuration for [`crate::Engine::with_observability`].
+pub struct ObsConfig {
+    /// Registry the engine publishes into. Defaults to a fresh registry;
+    /// use [`wmp_obs::Registry::global`] (via [`ObsConfig::global`]) to
+    /// share one process-wide exposition surface.
+    pub registry: Arc<Registry>,
+    /// Evaluation-batch size for prediction quality: every `quality_batch`
+    /// observed queries are re-predicted as one workload and compared to
+    /// their summed true memory. Match the model's training batch size
+    /// (the paper's `s = 10`) so the predictor is evaluated in-regime.
+    pub quality_batch: usize,
+    /// Rolling window (in evaluation batches) for MAE / accuracy.
+    pub quality_capacity: usize,
+    /// Memory-bin width (MB) for the within-one-bucket accuracy.
+    pub quality_bucket_mb: f64,
+    /// Training-time template distribution for drift scoring; `None`
+    /// disables the drift monitor (the gauge is never published).
+    pub drift_reference: Option<Vec<f64>>,
+    /// Rolling window (in queries) for the live template distribution.
+    pub drift_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            registry: Arc::new(Registry::new()),
+            quality_batch: 10,
+            quality_capacity: 256,
+            quality_bucket_mb: 100.0,
+            drift_reference: None,
+            drift_capacity: 512,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Default configuration publishing into the process-wide
+    /// [`wmp_obs::Registry::global`] registry.
+    pub fn global() -> Self {
+        ObsConfig { registry: Registry::global_shared(), ..Default::default() }
+    }
+
+    /// Publishes into `registry` instead of a fresh private one.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Sets the drift reference distribution (normalized template
+    /// frequencies from training; see
+    /// [`learnedwmp_core::LearnedWmp::template_distribution`]).
+    pub fn with_drift_reference(mut self, reference: Vec<f64>) -> Self {
+        self.drift_reference = Some(reference);
+        self
+    }
+}
+
+/// The engine's registered instruments plus the two rolling monitors. One
+/// instance is shared (via `Arc`) by the submit path, the scoring path, and
+/// the background retrainer thread.
+pub(crate) struct EngineObs {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) served: Arc<Counter>,
+    pub(crate) failed: Arc<Counter>,
+    pub(crate) windows: Arc<Counter>,
+    pub(crate) swaps: Arc<Counter>,
+    pub(crate) observed: Arc<Counter>,
+    pub(crate) retrains: Arc<Counter>,
+    pub(crate) retrain_failures: Arc<Counter>,
+    pub(crate) quality_windows: Arc<Counter>,
+    pub(crate) score_latency: Arc<Histogram>,
+    pub(crate) pending: Arc<Gauge>,
+    pub(crate) model_version: Arc<Gauge>,
+    pub(crate) model_age_seconds: Arc<Gauge>,
+    pub(crate) mae_mb: Arc<Gauge>,
+    pub(crate) within_one_bucket: Arc<Gauge>,
+    pub(crate) drift_score: Arc<Gauge>,
+    quality: QualityMonitor,
+    quality_batch: usize,
+    eval_buffer: Mutex<Vec<QueryRecord>>,
+    drift: Option<DriftMonitor>,
+}
+
+impl EngineObs {
+    pub(crate) fn new(config: ObsConfig) -> Self {
+        let r = &config.registry;
+        EngineObs {
+            submitted: r.counter(
+                "wmp_queries_submitted_total",
+                "Queries submitted to the serving engine",
+                &[],
+            ),
+            served: r.counter(
+                "wmp_queries_served_total",
+                "Tickets resolved with a successful prediction",
+                &[],
+            ),
+            failed: r.counter("wmp_queries_failed_total", "Tickets resolved with an error", &[]),
+            windows: r.counter("wmp_windows_scored_total", "Workload windows scored", &[]),
+            swaps: r.counter(
+                "wmp_model_swaps_total",
+                "Models installed into the serving handle (reloads + published retrains)",
+                &[],
+            ),
+            observed: r.counter(
+                "wmp_queries_observed_total",
+                "Executed queries fed back via Engine::observe",
+                &[],
+            ),
+            retrains: r.counter(
+                "wmp_retrains_total",
+                "Background retraining passes that published a new model",
+                &[],
+            ),
+            retrain_failures: r.counter(
+                "wmp_retrain_failures_total",
+                "Background retraining passes that failed (previous model kept serving)",
+                &[],
+            ),
+            quality_windows: r.counter(
+                "wmp_quality_windows_total",
+                "Evaluation batches scored by the prediction-quality monitor",
+                &[],
+            ),
+            score_latency: r.histogram(
+                "wmp_window_score_latency_us",
+                "Window-scoring latency in microseconds",
+                &[],
+            ),
+            pending: r.gauge(
+                "wmp_pending_queries",
+                "Queries waiting for their window to close",
+                &[],
+            ),
+            model_version: r.gauge(
+                "wmp_model_version",
+                "Version of the model that scored the most recent window",
+                &[],
+            ),
+            model_age_seconds: r.gauge(
+                "wmp_model_age_seconds",
+                "Seconds since the currently serving model was installed",
+                &[],
+            ),
+            mae_mb: r.gauge(
+                "wmp_prediction_mae_mb",
+                "Rolling mean absolute prediction error (MB) over recent evaluation batches",
+                &[],
+            ),
+            within_one_bucket: r.gauge(
+                "wmp_prediction_within_one_bucket_ratio",
+                "Rolling fraction of evaluation batches predicted within one memory bucket",
+                &[],
+            ),
+            drift_score: r.gauge(
+                "wmp_template_drift_score",
+                "Total-variation distance between live and training template distributions",
+                &[],
+            ),
+            quality: QualityMonitor::new(config.quality_capacity, config.quality_bucket_mb),
+            quality_batch: config.quality_batch.max(1),
+            eval_buffer: Mutex::new(Vec::new()),
+            drift: config
+                .drift_reference
+                .map(|reference| DriftMonitor::new(reference, config.drift_capacity)),
+            registry: Arc::clone(&config.registry),
+        }
+    }
+
+    /// Accounts one observed (executed) query: feeds the drift monitor with
+    /// its template assignment and, once a full evaluation batch has
+    /// accumulated, re-predicts the batch through `model` and scores it
+    /// against the measured memory. Runs on the observer's thread — cheap
+    /// except once per `quality_batch`, when it costs one prediction.
+    pub(crate) fn account_observation(&self, model: &dyn WorkloadPredictor, record: &QueryRecord) {
+        if let Some(drift) = &self.drift {
+            if let Ok(Some(template)) = model.assign_template(record) {
+                drift.observe(template);
+                if let Some(score) = drift.score() {
+                    self.drift_score.set(score);
+                }
+            }
+        }
+        let batch = {
+            let mut buffer =
+                self.eval_buffer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            buffer.push(record.clone());
+            if buffer.len() >= self.quality_batch {
+                Some(std::mem::take(&mut *buffer))
+            } else {
+                None
+            }
+        };
+        if let Some(batch) = batch {
+            let refs: Vec<&QueryRecord> = batch.iter().collect();
+            if let Ok(predicted) = model.predict_workload(&refs) {
+                let actual: f64 = batch.iter().map(|r| r.true_memory_mb).sum();
+                self.quality.record(predicted, actual);
+                self.quality_windows.inc();
+                if let Some(mae) = self.quality.mae() {
+                    self.mae_mb.set(mae);
+                }
+                if let Some(ratio) = self.quality.within_one_bucket() {
+                    self.within_one_bucket.set(ratio);
+                }
+            }
+        }
+    }
+}

@@ -1,54 +1,48 @@
-//! Lock-free serving counters: everything increments with relaxed atomics on
-//! the hot path, and [`EngineStats::snapshot`] materializes a coherent-enough
-//! point-in-time view for dashboards and tests.
+//! Lock-free serving counters: everything increments atomically on the hot
+//! path, and [`EngineStats::snapshot`] materializes a coherent point-in-time
+//! view for dashboards and tests.
+//!
+//! Latency is tracked with the shared [`wmp_obs::Histogram`] (log-bucketed,
+//! lock-free); the snapshot reports quantiles with the histogram's
+//! conservative [`wmp_obs::Histogram::quantile_upper_bound`] so a latency is
+//! never under-reported. Interpolated quantiles are available through the
+//! engine's observability registry (`wmp_window_score_latency_us`).
+//!
+//! # Snapshot coherence contract
+//!
+//! Counters are incremented by concurrent submitters, the scoring path, and
+//! the background retrainer, so a snapshot is not a single atomic cut of all
+//! fields. What *is* guaranteed, by construction, is the reconciliation
+//! invariant
+//!
+//! ```text
+//! submitted >= served + failed + pending
+//! ```
+//!
+//! for every snapshot taken through [`crate::Engine::stats`], even while
+//! submissions and window scoring race with the reader. Three rules make it
+//! hold:
+//!
+//! 1. A submission increments `submitted` **before** its query enters the
+//!    pending window (and the scoring path removes the window from pending
+//!    **before** incrementing `served`/`failed`), so a query is never
+//!    visible as resolved or pending without its submission being visible.
+//! 2. The scoring path increments `served`/`failed` with `Release`, and the
+//!    snapshot loads them **first** with `Acquire` — every submission that
+//!    produced a counted resolution is therefore visible by the time
+//!    `submitted` is read.
+//! 3. The snapshot reads `pending` under the same lock the scoring path
+//!    holds to remove a window, then reads `submitted` **last** — so a
+//!    query can never be double-counted as both resolved and pending, and
+//!    every pending query's submission is visible.
+//!
+//! The engine asserts the invariant (in debug builds) on every
+//! [`crate::Engine::stats`] call, and a concurrent stress test hammers it
+//! from racing threads.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
-/// Power-of-two-bucketed latency histogram (microseconds). Bucket `i` holds
-/// durations in `[2^(i-1), 2^i)` µs (bucket 0 holds sub-microsecond calls);
-/// quantiles report the bucket's upper bound, so a value is never
-/// under-reported and over-reported by at most 2× — order-of-magnitude
-/// p50/p99 telemetry at the recording cost of one relaxed `fetch_add`.
-const LATENCY_BUCKETS: usize = 40;
-
-pub(crate) struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl LatencyHistogram {
-    pub(crate) fn record(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = if us == 0 { 0 } else { (64 - us.leading_zeros()) as usize };
-        let bucket = bucket.min(LATENCY_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Upper bound (µs) of the bucket containing the `q`-quantile sample,
-    /// or 0 when nothing has been recorded.
-    pub(crate) fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
-            }
-        }
-        (1u64 << (LATENCY_BUCKETS - 1)) - 1
-    }
-}
+use wmp_obs::Histogram;
 
 /// Shared serving telemetry. One instance lives behind the engine (and its
 /// background retrainer); every field is an atomic, so request threads never
@@ -63,28 +57,52 @@ pub struct EngineStats {
     pub(crate) observed: AtomicU64,
     pub(crate) retrains: AtomicU64,
     pub(crate) retrain_failures: AtomicU64,
-    pub(crate) latency: LatencyHistogram,
+    pub(crate) latency: Histogram,
 }
 
 impl EngineStats {
-    /// Materializes a point-in-time view of every counter.
+    /// Materializes a point-in-time view of every counter. `pending` is 0
+    /// here; [`crate::Engine::stats`] fills it from the engine's window
+    /// buffer via `EngineStats::snapshot_with_pending`, which is what
+    /// upholds the [module-level coherence contract](self).
     pub fn snapshot(&self) -> StatsSnapshot {
+        self.snapshot_with_pending(|| 0)
+    }
+
+    /// Snapshot with the resolution counters loaded first (`Acquire`),
+    /// `pending` sampled in between, and `submitted` loaded last — the load
+    /// order that makes `submitted >= served + failed + pending` hold under
+    /// concurrency (see the [module docs](self)).
+    pub(crate) fn snapshot_with_pending(&self, pending: impl FnOnce() -> u64) -> StatsSnapshot {
+        let served = self.served.load(Ordering::Acquire);
+        let failed = self.failed.load(Ordering::Acquire);
+        let pending = pending();
+        let windows = self.windows.load(Ordering::Relaxed);
+        let swaps = self.swaps.load(Ordering::Relaxed);
+        let observed = self.observed.load(Ordering::Relaxed);
+        let retrains = self.retrains.load(Ordering::Relaxed);
+        let retrain_failures = self.retrain_failures.load(Ordering::Relaxed);
+        let p50_latency_us = self.latency.quantile_upper_bound(0.50);
+        let p99_latency_us = self.latency.quantile_upper_bound(0.99);
+        let submitted = self.submitted.load(Ordering::Relaxed);
         StatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            served: self.served.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            windows: self.windows.load(Ordering::Relaxed),
-            swaps: self.swaps.load(Ordering::Relaxed),
-            observed: self.observed.load(Ordering::Relaxed),
-            retrains: self.retrains.load(Ordering::Relaxed),
-            retrain_failures: self.retrain_failures.load(Ordering::Relaxed),
-            p50_latency_us: self.latency.quantile_us(0.50),
-            p99_latency_us: self.latency.quantile_us(0.99),
+            submitted,
+            served,
+            failed,
+            pending,
+            windows,
+            swaps,
+            observed,
+            retrains,
+            retrain_failures,
+            p50_latency_us,
+            p99_latency_us,
         }
     }
 }
 
-/// Point-in-time engine telemetry (all counters cumulative since startup).
+/// Point-in-time engine telemetry (all counters cumulative since startup,
+/// except `pending` which is a live level).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Queries submitted via `Engine::submit`.
@@ -93,6 +111,10 @@ pub struct StatsSnapshot {
     pub served: u64,
     /// Tickets resolved with an error.
     pub failed: u64,
+    /// Queries waiting for their window to close at snapshot time (level,
+    /// not cumulative). Populated by `Engine::stats`; 0 from a raw
+    /// `EngineStats::snapshot`.
+    pub pending: u64,
     /// Workload windows scored (each resolves `window_len` tickets).
     pub windows: u64,
     /// Models the engine installed into its handle (reloads + published
@@ -121,33 +143,38 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn latency_quantiles_track_recorded_durations() {
-        let h = LatencyHistogram::default();
+    fn latency_quantiles_keep_the_conservative_upper_bound_contract() {
+        // Regression: the pre-wmp_obs LatencyHistogram reported the bucket
+        // upper bound; the absorbed histogram must preserve that behavior
+        // for StatsSnapshot's p50/p99 fields.
+        let stats = EngineStats::default();
         for _ in 0..99 {
-            h.record(Duration::from_micros(100));
+            stats.latency.record_duration(Duration::from_micros(100));
         }
-        h.record(Duration::from_millis(50));
+        stats.latency.record_duration(Duration::from_millis(50));
+        let snap = stats.snapshot();
         // p50 lands in the bucket covering 100 µs: [64, 128).
-        assert_eq!(h.quantile_us(0.50), 127);
-        // p99 still in the fast bucket; p100 reaches the slow outlier.
-        assert_eq!(h.quantile_us(0.99), 127);
-        assert!(h.quantile_us(1.0) >= 50_000 - 1);
+        assert_eq!(snap.p50_latency_us, 127);
+        assert_eq!(snap.p99_latency_us, 127);
+        assert!(stats.latency.quantile_upper_bound(1.0) >= 50_000 - 1);
     }
 
     #[test]
     fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert_eq!(h.quantile_us(0.99), 0);
+        let stats = EngineStats::default();
+        let snap = stats.snapshot();
+        assert_eq!(snap.p50_latency_us, 0);
+        assert_eq!(snap.p99_latency_us, 0);
     }
 
     #[test]
     fn sub_microsecond_records_hit_bucket_zero() {
-        let h = LatencyHistogram::default();
-        h.record(Duration::from_nanos(10));
-        assert_eq!(h.quantile_us(1.0), 0);
+        let h = Histogram::default();
+        h.record_duration(Duration::from_nanos(10));
+        assert_eq!(h.quantile_upper_bound(1.0), 0);
     }
 
     #[test]
@@ -158,5 +185,16 @@ mod tests {
         stats.failed.fetch_add(2, Ordering::Relaxed);
         let snap = stats.snapshot();
         assert_eq!(snap.resolved(), snap.submitted);
+        assert_eq!(snap.pending, 0);
+    }
+
+    #[test]
+    fn snapshot_with_pending_reports_the_live_level() {
+        let stats = EngineStats::default();
+        stats.submitted.fetch_add(10, Ordering::Relaxed);
+        stats.served.fetch_add(4, Ordering::Release);
+        let snap = stats.snapshot_with_pending(|| 6);
+        assert_eq!(snap.pending, 6);
+        assert!(snap.submitted >= snap.resolved() + snap.pending);
     }
 }

@@ -106,12 +106,24 @@ impl AdmissionController {
     /// overflow/waste accounting — a real gate never sees it at decision
     /// time, and neither does the admit/reject choice here.
     pub fn offer(&mut self, predicted_mb: f64, actual_mb: f64) -> Admission {
-        let fits = self.predicted_in_flight_mb() + predicted_mb <= self.budget_mb;
+        let predicted_occupancy = self.predicted_in_flight_mb();
+        let fits = predicted_occupancy + predicted_mb <= self.budget_mb;
         if !fits {
             self.stats.rejected += 1;
-            if self.actual_in_flight_mb() + actual_mb <= self.budget_mb {
+            let would_fit = self.actual_in_flight_mb() + actual_mb <= self.budget_mb;
+            if would_fit {
                 self.stats.rejected_would_fit += 1;
             }
+            wmp_obs::event!(
+                wmp_obs::Level::Debug,
+                target: "wmp_sim::admission",
+                "admission_decision",
+                admitted = false,
+                predicted_mb = predicted_mb,
+                predicted_occupancy_mb = predicted_occupancy,
+                budget_mb = self.budget_mb,
+                would_fit = would_fit,
+            );
             return Admission::Rejected;
         }
         let id = self.next_id;
@@ -123,8 +135,25 @@ impl AdmissionController {
         if occupied > self.stats.peak_actual_mb {
             self.stats.peak_actual_mb = occupied;
         }
+        wmp_obs::event!(
+            wmp_obs::Level::Debug,
+            target: "wmp_sim::admission",
+            "admission_decision",
+            admitted = true,
+            predicted_mb = predicted_mb,
+            predicted_occupancy_mb = predicted_occupancy,
+            budget_mb = self.budget_mb,
+        );
         if occupied > self.budget_mb {
             self.stats.overflow_events += 1;
+            wmp_obs::event!(
+                wmp_obs::Level::Warn,
+                target: "wmp_sim::admission",
+                "budget_overflow",
+                actual_occupancy_mb = occupied,
+                budget_mb = self.budget_mb,
+                in_flight = self.in_flight.len(),
+            );
         }
         Admission::Admitted(id)
     }
@@ -215,6 +244,35 @@ mod tests {
         assert_eq!(gate.stats().overflow_events, 0);
         assert!(gate.stats().peak_actual_mb <= 50.0);
         assert!(gate.complete_oldest().is_some());
+    }
+
+    #[test]
+    fn decisions_emit_structured_events() {
+        let recorder = std::sync::Arc::new(wmp_obs::RingBufferRecorder::with_capacity(64));
+        wmp_obs::set_subscriber(recorder.clone());
+        let mut gate = AdmissionController::new(100.0);
+        let Admission::Admitted(first) = gate.offer(60.0, 90.0) else { panic!("admit") };
+        assert!(gate.offer(30.0, 40.0).admitted()); // actual 130 > 100: overflow
+        gate.complete(first); // actual occupancy back to 40
+                              // Over-prediction: 30 + 80 predicted > 100 rejects, but 40 + 10
+                              // actual would have fit — a wasteful rejection.
+        assert_eq!(gate.offer(80.0, 10.0), Admission::Rejected);
+        wmp_obs::clear_subscriber();
+
+        let events = recorder.take();
+        let decisions: Vec<_> = events.iter().filter(|e| e.name == "admission_decision").collect();
+        assert_eq!(decisions.len(), 3);
+        assert_eq!(decisions[0].field("admitted").and_then(|f| f.as_bool()), Some(true));
+        assert_eq!(decisions[2].field("admitted").and_then(|f| f.as_bool()), Some(false));
+        assert_eq!(
+            decisions[2].field("would_fit").and_then(|f| f.as_bool()),
+            Some(true),
+            "a wasteful rejection is visible in the event"
+        );
+        let overflow: Vec<_> = events.iter().filter(|e| e.name == "budget_overflow").collect();
+        assert_eq!(overflow.len(), 1);
+        assert_eq!(overflow[0].level, wmp_obs::Level::Warn);
+        assert_eq!(overflow[0].field("actual_occupancy_mb").and_then(|f| f.as_f64()), Some(130.0));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`sim`] ([`wmp_sim`]) | executor memory simulator (ground truth) + DBMS heuristic baseline + admission scenario |
 //! | [`workloads`] ([`wmp_workloads`]) | TPC-DS / JOB / TPC-C style generators and query logs |
 //! | [`text`] ([`wmp_text`]) | SQL tokenization, bag-of-words, text-mining, word embeddings |
+//! | [`obs`] ([`wmp_obs`]) | observability: metrics registry, tracing facade, prediction-quality monitors |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@
 
 pub use learnedwmp_core as core;
 pub use wmp_mlkit as mlkit;
+pub use wmp_obs as obs;
 pub use wmp_plan as plan;
 pub use wmp_serve as serve;
 pub use wmp_sim as sim;
