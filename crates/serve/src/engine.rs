@@ -15,6 +15,7 @@ use wmp_plan::Catalog;
 use wmp_workloads::QueryRecord;
 
 use crate::obs::{EngineObs, ObsConfig};
+use crate::sqlfront::SqlFrontend;
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::ticket::{QueryTicket, TicketState, WorkloadDecision};
 
@@ -90,6 +91,7 @@ pub struct Engine {
     query_seq: AtomicU64,
     stats: Arc<EngineStats>,
     obs: Option<Arc<EngineObs>>,
+    sql: Option<SqlFrontend>,
     retrainer: Option<Retrainer>,
 }
 
@@ -105,8 +107,16 @@ impl Engine {
             query_seq: AtomicU64::new(0),
             stats: Arc::new(EngineStats::default()),
             obs: None,
+            sql: None,
             retrainer: None,
         }
+    }
+
+    /// Attaches a SQL ingestion front-end so queries can arrive as text via
+    /// [`Engine::submit_sql`] instead of pre-built [`QueryRecord`]s.
+    pub fn with_sql_frontend(mut self, frontend: SqlFrontend) -> Self {
+        self.sql = Some(frontend);
+        self
     }
 
     /// Attaches registry-backed observability (see [`ObsConfig`]): serving
@@ -232,6 +242,63 @@ impl Engine {
             self.score_window(window);
         }
         ticket
+    }
+
+    /// Submits one query as SQL text: parses it under the attached
+    /// front-end's dialect, lowers it against the catalog, prices it, and
+    /// enqueues the result exactly like [`Engine::submit`].
+    ///
+    /// # Errors
+    /// A span-carrying [`wmp_sql::ParseError`] when the statement is
+    /// rejected (malformed, unsupported construct, unknown identifier), or
+    /// a zero-span `Unsupported` error when no front-end is attached (see
+    /// [`Engine::with_sql_frontend`]). Rejected statements never panic and
+    /// never enter a window; parse outcomes are counted on the front-end
+    /// and, when observability is attached, as `wmp_sql_parse_ok_total` /
+    /// `wmp_sql_parse_errors_total`.
+    pub fn submit_sql(&self, sql: &str) -> Result<QueryTicket, wmp_sql::ParseError> {
+        let Some(frontend) = &self.sql else {
+            return Err(wmp_sql::ParseError::Unsupported {
+                what: "submit_sql without a SQL front-end (attach with with_sql_frontend)",
+                span: wmp_sql::Span::at(0),
+            });
+        };
+        let span = wmp_obs::span!(
+            Level::Debug,
+            target: "wmp_serve::sql",
+            "sql_parse",
+            dialect = frontend.dialect().name(),
+            bytes = sql.len(),
+        );
+        let record = frontend.record(sql);
+        drop(span);
+        match record {
+            Ok(record) => {
+                if let Some(obs) = &self.obs {
+                    obs.sql_parse_ok.inc();
+                }
+                Ok(self.submit(record))
+            }
+            Err(e) => {
+                if let Some(obs) = &self.obs {
+                    obs.sql_parse_errors.inc();
+                }
+                wmp_obs::event!(
+                    Level::Warn,
+                    target: "wmp_serve::sql",
+                    "sql_parse_rejected",
+                    kind = e.kind(),
+                    error = e.to_string(),
+                );
+                Err(e)
+            }
+        }
+    }
+
+    /// The attached SQL front-end (for its parse counters), or `None` when
+    /// the engine only accepts pre-built records.
+    pub fn sql_frontend(&self) -> Option<&SqlFrontend> {
+        self.sql.as_ref()
     }
 
     /// Flushes the current partial window (any policy), scoring whatever has

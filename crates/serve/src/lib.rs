@@ -21,6 +21,10 @@
 //!   metrics (Prometheus/JSON via [`wmp_obs`]), plus rolling prediction
 //!   quality (MAE, within-one-bucket accuracy) and a template-distribution
 //!   drift score fed by [`Engine::observe`].
+//! - [`SqlFrontend`] / [`Engine::submit_sql`] — SQL text ingestion: parse
+//!   under a [`wmp_sql::Dialect`], lower against the catalog, price, and
+//!   enqueue — with typed, span-carrying rejections and
+//!   `wmp_sql_parse_ok_total` / `wmp_sql_parse_errors_total` counters.
 //!
 //! ## Windowing policies and the paper's workload definition
 //!
@@ -76,12 +80,14 @@
 
 pub mod engine;
 pub mod obs;
+pub mod sqlfront;
 pub mod stats;
 pub mod ticket;
 
 pub use engine::{Engine, WindowPolicy};
 pub use learnedwmp_core::handle::{ModelSnapshot, PredictorHandle};
 pub use obs::ObsConfig;
+pub use sqlfront::SqlFrontend;
 pub use stats::{EngineStats, StatsSnapshot};
 pub use ticket::{QueryTicket, WorkloadDecision};
 
@@ -351,5 +357,49 @@ mod tests {
         let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(0));
         let t = engine.submit(log.records[0].clone());
         assert_eq!(t.wait().unwrap().window_len, 1);
+    }
+
+    #[test]
+    fn submit_sql_serves_a_text_log_end_to_end() {
+        let log = wmp_workloads::tpch::generate(220, 5).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 5);
+        let catalog = wmp_workloads::tpch::catalog();
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(5))
+            .with_observability(ObsConfig::default())
+            .with_sql_frontend(SqlFrontend::new(catalog, Box::new(wmp_sql::Ansi)));
+
+        // Replay the first window's queries as rendered SQL text.
+        let mut tickets = Vec::new();
+        for record in log.records.iter().take(5) {
+            tickets.push(engine.submit_sql(&record.sql()).expect("generated SQL re-parses"));
+        }
+        let decision = tickets[0].wait().unwrap();
+        assert_eq!(decision.window_len, 5);
+        assert!(decision.predicted_mb > 0.0);
+        assert!(tickets.iter().all(|t| t.is_resolved()));
+
+        // A malformed statement is rejected with a typed error, not a panic,
+        // and does not enter the pending window.
+        let err = engine.submit_sql("DELETE FROM lineitem").unwrap_err();
+        assert_eq!(err.kind(), "unexpected_token");
+        assert_eq!(engine.pending_len(), 0);
+
+        let front = engine.sql_frontend().expect("front-end attached");
+        assert_eq!(front.parse_ok(), 5);
+        assert_eq!(front.parse_errors(), 1);
+        let snap = engine.obs_registry().unwrap().snapshot();
+        let text = snap.to_prometheus();
+        assert!(text.contains("wmp_sql_parse_ok_total 5"));
+        assert!(text.contains("wmp_sql_parse_errors_total 1"));
+    }
+
+    #[test]
+    fn submit_sql_without_a_frontend_is_a_typed_error() {
+        let log = wmp_workloads::tpcc::generate(60, 11).unwrap();
+        let model = trained_on(&log, ModelKind::Ridge, 11);
+        let engine = Engine::new(PredictorHandle::new(model), WindowPolicy::Count(5));
+        let err = engine.submit_sql("SELECT l.* FROM lineitem l").unwrap_err();
+        assert_eq!(err.kind(), "unsupported");
+        assert_eq!(engine.stats().submitted, 0, "nothing was enqueued");
     }
 }

@@ -98,6 +98,8 @@ pub(crate) struct EngineObs {
     pub(crate) observed: Arc<Counter>,
     pub(crate) retrains: Arc<Counter>,
     pub(crate) retrain_failures: Arc<Counter>,
+    pub(crate) sql_parse_ok: Arc<Counter>,
+    pub(crate) sql_parse_errors: Arc<Counter>,
     pub(crate) quality_windows: Arc<Counter>,
     pub(crate) score_latency: Arc<Histogram>,
     pub(crate) pending: Arc<Gauge>,
@@ -146,6 +148,16 @@ impl EngineObs {
             retrain_failures: r.counter(
                 "wmp_retrain_failures_total",
                 "Background retraining passes that failed (previous model kept serving)",
+                &[],
+            ),
+            sql_parse_ok: r.counter(
+                "wmp_sql_parse_ok_total",
+                "SQL statements accepted by Engine::submit_sql",
+                &[],
+            ),
+            sql_parse_errors: r.counter(
+                "wmp_sql_parse_errors_total",
+                "SQL statements rejected by Engine::submit_sql with a parse error",
                 &[],
             ),
             quality_windows: r.counter(

@@ -1,0 +1,288 @@
+//! Typed, span-carrying parse and lowering errors.
+//!
+//! Every error points at the byte range of the offending text, so a log
+//! ingestion pipeline can report *where* a production query diverged from
+//! the supported grammar — the difference between "parse error" and an
+//! actionable rejection line in a multi-million-query replay.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned text.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned text.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at` (end-of-input errors).
+    pub fn at(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// The spanned slice of `source` (empty when out of range — spans are
+    /// diagnostics, never an excuse to panic).
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
+/// Errors produced while tokenizing, parsing, or lowering SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A character outside the SQL lexical grammar (tokenizer).
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Where it sits.
+        span: Span,
+    },
+    /// A string literal whose closing quote never arrives.
+    UnterminatedString {
+        /// From the opening quote to end of input.
+        span: Span,
+    },
+    /// A quoted identifier whose closing quote never arrives.
+    UnterminatedIdent {
+        /// From the opening quote to end of input.
+        span: Span,
+    },
+    /// A quoted identifier with no characters between the quotes.
+    EmptyIdent {
+        /// The empty quotes.
+        span: Span,
+    },
+    /// The parser expected one construct and found another token.
+    UnexpectedToken {
+        /// What the grammar wanted here.
+        expected: &'static str,
+        /// The token text actually found.
+        found: String,
+        /// Where it sits.
+        span: Span,
+    },
+    /// Input ended where the grammar still required something.
+    UnexpectedEnd {
+        /// What the grammar wanted next.
+        expected: &'static str,
+        /// Zero-width span at end of input.
+        span: Span,
+    },
+    /// The statement parsed, but tokens remain after it.
+    TrailingInput {
+        /// The first unconsumed token.
+        span: Span,
+    },
+    /// Recognized SQL that the supported SELECT subset does not cover.
+    Unsupported {
+        /// The construct (e.g. "HAVING clause", "scalar subquery").
+        what: &'static str,
+        /// Where it starts.
+        span: Span,
+    },
+    /// A numeric token that does not fit its slot (e.g. a LIMIT overflow).
+    InvalidNumber {
+        /// The literal text.
+        text: String,
+        /// Where it sits.
+        span: Span,
+    },
+    /// A FROM-clause table the catalog does not define.
+    UnknownTable {
+        /// Catalog-folded table name.
+        name: String,
+        /// Where it is referenced.
+        span: Span,
+    },
+    /// A column its resolved table does not define.
+    UnknownColumn {
+        /// The table searched.
+        table: String,
+        /// The missing column.
+        column: String,
+        /// Where it is referenced.
+        span: Span,
+    },
+    /// A qualifier (`x` in `x.col`) no FROM item binds.
+    UnknownAlias {
+        /// The unbound qualifier.
+        alias: String,
+        /// Where it is referenced.
+        span: Span,
+    },
+    /// An unqualified column defined by more than one FROM table.
+    AmbiguousColumn {
+        /// The ambiguous column.
+        column: String,
+        /// Where it is referenced.
+        span: Span,
+    },
+    /// The same alias bound twice in FROM.
+    DuplicateAlias {
+        /// The rebound alias.
+        alias: String,
+        /// The second binding.
+        span: Span,
+    },
+}
+
+impl ParseError {
+    /// The byte range the error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            ParseError::UnexpectedChar { span, .. }
+            | ParseError::UnterminatedString { span }
+            | ParseError::UnterminatedIdent { span }
+            | ParseError::EmptyIdent { span }
+            | ParseError::UnexpectedToken { span, .. }
+            | ParseError::UnexpectedEnd { span, .. }
+            | ParseError::TrailingInput { span }
+            | ParseError::Unsupported { span, .. }
+            | ParseError::InvalidNumber { span, .. }
+            | ParseError::UnknownTable { span, .. }
+            | ParseError::UnknownColumn { span, .. }
+            | ParseError::UnknownAlias { span, .. }
+            | ParseError::AmbiguousColumn { span, .. }
+            | ParseError::DuplicateAlias { span, .. } => *span,
+        }
+    }
+
+    /// Short machine-friendly kind tag (metric labels, corpus assertions).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ParseError::UnexpectedChar { .. } => "unexpected_char",
+            ParseError::UnterminatedString { .. } => "unterminated_string",
+            ParseError::UnterminatedIdent { .. } => "unterminated_ident",
+            ParseError::EmptyIdent { .. } => "empty_ident",
+            ParseError::UnexpectedToken { .. } => "unexpected_token",
+            ParseError::UnexpectedEnd { .. } => "unexpected_end",
+            ParseError::TrailingInput { .. } => "trailing_input",
+            ParseError::Unsupported { .. } => "unsupported",
+            ParseError::InvalidNumber { .. } => "invalid_number",
+            ParseError::UnknownTable { .. } => "unknown_table",
+            ParseError::UnknownColumn { .. } => "unknown_column",
+            ParseError::UnknownAlias { .. } => "unknown_alias",
+            ParseError::AmbiguousColumn { .. } => "ambiguous_column",
+            ParseError::DuplicateAlias { .. } => "duplicate_alias",
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { ch, span } => {
+                write!(f, "unexpected character {ch:?} at {span}")
+            }
+            ParseError::UnterminatedString { span } => {
+                write!(f, "unterminated string literal at {span}")
+            }
+            ParseError::UnterminatedIdent { span } => {
+                write!(f, "unterminated quoted identifier at {span}")
+            }
+            ParseError::EmptyIdent { span } => write!(f, "empty quoted identifier at {span}"),
+            ParseError::UnexpectedToken { expected, found, span } => {
+                write!(f, "expected {expected}, found {found:?} at {span}")
+            }
+            ParseError::UnexpectedEnd { expected, span } => {
+                write!(f, "expected {expected}, found end of input at {span}")
+            }
+            ParseError::TrailingInput { span } => {
+                write!(f, "trailing input after statement at {span}")
+            }
+            ParseError::Unsupported { what, span } => {
+                write!(f, "unsupported SQL: {what} at {span}")
+            }
+            ParseError::InvalidNumber { text, span } => {
+                write!(f, "invalid number {text:?} at {span}")
+            }
+            ParseError::UnknownTable { name, span } => {
+                write!(f, "unknown table {name:?} at {span}")
+            }
+            ParseError::UnknownColumn { table, column, span } => {
+                write!(f, "unknown column {table}.{column} at {span}")
+            }
+            ParseError::UnknownAlias { alias, span } => {
+                write!(f, "unknown table alias {alias:?} at {span}")
+            }
+            ParseError::AmbiguousColumn { column, span } => {
+                write!(f, "ambiguous column {column:?} (qualify it) at {span}")
+            }
+            ParseError::DuplicateAlias { alias, span } => {
+                write!(f, "duplicate table alias {alias:?} at {span}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias.
+pub type SqlResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_and_slice() {
+        let s = Span::new(3, 7).merge(Span::new(5, 10));
+        assert_eq!(s, Span::new(3, 10));
+        assert_eq!(Span::new(0, 6).slice("SELECT 1"), "SELECT");
+        assert_eq!(Span::new(90, 99).slice("short"), "", "out-of-range slices are empty");
+        assert_eq!(Span::at(4), Span::new(4, 4));
+    }
+
+    #[test]
+    fn errors_expose_span_and_kind() {
+        let e = ParseError::UnknownTable { name: "nope".into(), span: Span::new(14, 18) };
+        assert_eq!(e.span(), Span::new(14, 18));
+        assert_eq!(e.kind(), "unknown_table");
+        assert!(e.to_string().contains("nope"));
+        assert!(e.to_string().contains("14..18"));
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let s = Span::new(0, 1);
+        let variants: Vec<ParseError> = vec![
+            ParseError::UnexpectedChar { ch: '#', span: s },
+            ParseError::UnterminatedString { span: s },
+            ParseError::UnterminatedIdent { span: s },
+            ParseError::EmptyIdent { span: s },
+            ParseError::UnexpectedToken { expected: "FROM", found: "WHERE".into(), span: s },
+            ParseError::UnexpectedEnd { expected: "a column", span: s },
+            ParseError::TrailingInput { span: s },
+            ParseError::Unsupported { what: "HAVING clause", span: s },
+            ParseError::InvalidNumber { text: "9e999".into(), span: s },
+            ParseError::UnknownTable { name: "t".into(), span: s },
+            ParseError::UnknownColumn { table: "t".into(), column: "c".into(), span: s },
+            ParseError::UnknownAlias { alias: "x".into(), span: s },
+            ParseError::AmbiguousColumn { column: "c".into(), span: s },
+            ParseError::DuplicateAlias { alias: "a".into(), span: s },
+        ];
+        let mut kinds = std::collections::HashSet::new();
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+            assert!(kinds.insert(v.kind()), "kind tags are unique");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Span-carrying SQL tokenizer, parameterized by [`Dialect`] for quoting
+//! and parameter-marker rules.
+//!
+//! Unlike `wmp_text::token` (which shreds query text into a bag of words
+//! for the text-based template learners), this tokenizer is *exact*: every
+//! token knows its byte span, literals keep their source spelling, and
+//! malformed input produces a typed [`ParseError`] instead of being
+//! silently dropped.
+
+use crate::dialect::Dialect;
+use crate::error::{ParseError, Span, SqlResult};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword. `text` is dialect-folded for unquoted
+    /// words and verbatim (quotes stripped, escapes resolved) for quoted
+    /// ones; keywords are only ever recognized in unquoted words.
+    Word {
+        /// Resolved identifier text.
+        text: String,
+        /// Whether the word was quoted (quoted words never match keywords
+        /// and never case-fold).
+        quoted: bool,
+    },
+    /// A numeric literal, spelled as in the source (`42`, `3.14`).
+    Number(String),
+    /// A string literal, spelled as in the source including its quotes.
+    StringLit(String),
+    /// A parameter marker (`?`, `$1`).
+    Param(String),
+    /// Single-character punctuation: `( ) , . * ;`.
+    Symbol(char),
+    /// A comparison operator: `=`, `<`, `<=`, `>`, `>=`, `<>`, `!=`.
+    Op(&'static str),
+    /// The Postgres `::` cast operator.
+    DoubleColon,
+}
+
+/// A token plus its byte range in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// True when the token is the unquoted keyword `kw` (case-insensitive).
+    /// `kw` must be passed in upper case by convention.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Word { text, quoted: false } if text.eq_ignore_ascii_case(kw))
+    }
+
+    /// Short description of the token for error messages.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            TokenKind::Word { text, .. } => text.clone(),
+            TokenKind::Number(n) => n.clone(),
+            TokenKind::StringLit(s) => s.clone(),
+            TokenKind::Param(p) => p.clone(),
+            TokenKind::Symbol(c) => c.to_string(),
+            TokenKind::Op(o) => (*o).to_string(),
+            TokenKind::DoubleColon => "::".to_string(),
+        }
+    }
+}
+
+/// Tokenizes `sql` under `dialect`'s lexical rules.
+///
+/// # Errors
+/// Returns a span-carrying [`ParseError`] on unterminated strings or quoted
+/// identifiers, empty quoted identifiers, parameter markers the dialect
+/// does not support, and characters outside the grammar.
+pub fn tokenize(sql: &str, dialect: &dyn Dialect) -> SqlResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let ch = sql[i..].chars().next().expect("in-bounds char");
+        match ch {
+            c if c.is_whitespace() => {
+                i += c.len_utf8();
+            }
+            // -- line comment
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            // /* block comment */ (unterminated runs to end of input; logs
+            // get truncated mid-comment and that is not worth an error)
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i < bytes.len() && !(bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/')) {
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            '\'' => {
+                let (text, end) = lex_quoted(sql, i, '\'')
+                    .ok_or(ParseError::UnterminatedString { span: Span::new(i, sql.len()) })?;
+                let _ = text;
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(sql[i..end].to_string()),
+                    span: Span::new(i, end),
+                });
+                i = end;
+            }
+            '"' if dialect.double_quote_is_string() => {
+                let (_, end) = lex_quoted(sql, i, '"')
+                    .ok_or(ParseError::UnterminatedString { span: Span::new(i, sql.len()) })?;
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(sql[i..end].to_string()),
+                    span: Span::new(i, end),
+                });
+                i = end;
+            }
+            c if c == dialect.ident_quote() => {
+                let (inner, end) = lex_quoted(sql, i, c)
+                    .ok_or(ParseError::UnterminatedIdent { span: Span::new(i, sql.len()) })?;
+                if inner.is_empty() {
+                    return Err(ParseError::EmptyIdent { span: Span::new(i, end) });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word { text: inner, quoted: true },
+                    span: Span::new(i, end),
+                });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                let word = &sql[i..end];
+                tokens.push(Token {
+                    kind: TokenKind::Word { text: dialect.fold_ident(word), quoted: false },
+                    span: Span::new(i, end),
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                let mut seen_dot = false;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_digit() || (bytes[end] == b'.' && !seen_dot))
+                {
+                    // `42.x` must lex as `42` `.` `x`, not a malformed
+                    // number: a dot is part of the number only when a digit
+                    // follows it.
+                    if bytes[end] == b'.' {
+                        if end + 1 < bytes.len() && bytes[end + 1].is_ascii_digit() {
+                            seen_dot = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(sql[i..end].to_string()),
+                    span: Span::new(i, end),
+                });
+                i = end;
+            }
+            '?' if dialect.question_params() => {
+                tokens.push(Token {
+                    kind: TokenKind::Param("?".to_string()),
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            '$' if dialect.dollar_params() => {
+                let mut end = i + 1;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end == i + 1 {
+                    return Err(ParseError::UnexpectedChar { ch: '$', span: Span::new(i, i + 1) });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Param(sql[i..end].to_string()),
+                    span: Span::new(i, end),
+                });
+                i = end;
+            }
+            '(' | ')' | ',' | '.' | '*' | ';' => {
+                tokens.push(Token { kind: TokenKind::Symbol(ch), span: Span::new(i, i + 1) });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Op("="), span: Span::new(i, i + 1) });
+                i += 1;
+            }
+            '<' => {
+                let (op, len) = match bytes.get(i + 1) {
+                    Some(b'=') => ("<=", 2),
+                    Some(b'>') => ("<>", 2),
+                    _ => ("<", 1),
+                };
+                tokens.push(Token { kind: TokenKind::Op(op), span: Span::new(i, i + len) });
+                i += len;
+            }
+            '>' => {
+                let (op, len) = if bytes.get(i + 1) == Some(&b'=') { (">=", 2) } else { (">", 1) };
+                tokens.push(Token { kind: TokenKind::Op(op), span: Span::new(i, i + len) });
+                i += len;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Op("!="), span: Span::new(i, i + 2) });
+                i += 2;
+            }
+            ':' if dialect.double_colon_cast() && bytes.get(i + 1) == Some(&b':') => {
+                tokens.push(Token { kind: TokenKind::DoubleColon, span: Span::new(i, i + 2) });
+                i += 2;
+            }
+            c => {
+                return Err(ParseError::UnexpectedChar {
+                    ch: c,
+                    span: Span::new(start, start + c.len_utf8()),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lexes a `quote`-delimited region starting at `start` (which must point at
+/// the opening quote). Doubled quotes escape. Returns the unescaped inner
+/// text and the byte offset one past the closing quote, or `None` when
+/// unterminated.
+fn lex_quoted(sql: &str, start: usize, quote: char) -> Option<(String, usize)> {
+    let mut inner = String::new();
+    let mut chars = sql[start..].char_indices().skip(1).peekable();
+    while let Some((off, c)) = chars.next() {
+        if c == quote {
+            if let Some(&(_, next)) = chars.peek() {
+                if next == quote {
+                    inner.push(quote);
+                    chars.next();
+                    continue;
+                }
+            }
+            return Some((inner, start + off + quote.len_utf8()));
+        }
+        inner.push(c);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::{Ansi, MySql, Postgres};
+
+    fn kinds(sql: &str, d: &dyn Dialect) -> Vec<TokenKind> {
+        tokenize(sql, d).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_fold_per_dialect() {
+        assert_eq!(
+            kinds("SELECT C_Nation", &Ansi),
+            vec![
+                TokenKind::Word { text: "select".into(), quoted: false },
+                TokenKind::Word { text: "c_nation".into(), quoted: false },
+            ]
+        );
+        assert_eq!(
+            kinds("C_Nation", &MySql),
+            vec![TokenKind::Word { text: "C_Nation".into(), quoted: false }]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_never_fold() {
+        assert_eq!(
+            kinds("\"Order\"", &Ansi),
+            vec![TokenKind::Word { text: "Order".into(), quoted: true }]
+        );
+        assert_eq!(
+            kinds("`Order`", &MySql),
+            vec![TokenKind::Word { text: "Order".into(), quoted: true }]
+        );
+        // Doubled quotes escape inside quoted identifiers.
+        assert_eq!(
+            kinds("\"a\"\"b\"", &Postgres),
+            vec![TokenKind::Word { text: "a\"b".into(), quoted: true }]
+        );
+    }
+
+    #[test]
+    fn mysql_double_quote_is_a_string() {
+        assert_eq!(kinds("\"CA\"", &MySql), vec![TokenKind::StringLit("\"CA\"".into())]);
+        // ...but a string under ANSI rules it is not.
+        assert_eq!(
+            kinds("\"ca\"", &Ansi),
+            vec![TokenKind::Word { text: "ca".into(), quoted: true }]
+        );
+    }
+
+    #[test]
+    fn string_literals_keep_source_spelling() {
+        assert_eq!(kinds("'CA'", &Ansi), vec![TokenKind::StringLit("'CA'".into())]);
+        assert_eq!(kinds("'o''brien'", &Ansi), vec![TokenKind::StringLit("'o''brien'".into())]);
+    }
+
+    #[test]
+    fn numbers_and_qualified_columns() {
+        assert_eq!(
+            kinds("t.a = 3.14", &Ansi),
+            vec![
+                TokenKind::Word { text: "t".into(), quoted: false },
+                TokenKind::Symbol('.'),
+                TokenKind::Word { text: "a".into(), quoted: false },
+                TokenKind::Op("="),
+                TokenKind::Number("3.14".into()),
+            ]
+        );
+        // A trailing dot stays punctuation, not part of the number.
+        assert_eq!(
+            kinds("42.x", &Ansi),
+            vec![
+                TokenKind::Number("42".into()),
+                TokenKind::Symbol('.'),
+                TokenKind::Word { text: "x".into(), quoted: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_params() {
+        assert_eq!(
+            kinds("<= >= <> != < > =", &Ansi),
+            vec![
+                TokenKind::Op("<="),
+                TokenKind::Op(">="),
+                TokenKind::Op("<>"),
+                TokenKind::Op("!="),
+                TokenKind::Op("<"),
+                TokenKind::Op(">"),
+                TokenKind::Op("="),
+            ]
+        );
+        assert_eq!(kinds("?", &MySql), vec![TokenKind::Param("?".into())]);
+        assert_eq!(
+            kinds("$1 $23", &Postgres),
+            vec![TokenKind::Param("$1".into()), TokenKind::Param("$23".into())]
+        );
+    }
+
+    #[test]
+    fn postgres_double_colon_cast_token() {
+        assert_eq!(
+            kinds("x::date", &Postgres),
+            vec![
+                TokenKind::Word { text: "x".into(), quoted: false },
+                TokenKind::DoubleColon,
+                TokenKind::Word { text: "date".into(), quoted: false },
+            ]
+        );
+        // ANSI has no ::, so ':' is an unexpected character.
+        assert!(matches!(
+            tokenize("x::date", &Ansi),
+            Err(ParseError::UnexpectedChar { ch: ':', .. })
+        ));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- trailing\n 1 /* block */ , 2", &Ansi),
+            vec![
+                TokenKind::Word { text: "select".into(), quoted: false },
+                TokenKind::Number("1".into()),
+                TokenKind::Symbol(','),
+                TokenKind::Number("2".into()),
+            ]
+        );
+        assert!(kinds("/* unterminated", &Ansi).is_empty());
+    }
+
+    #[test]
+    fn error_spans_point_at_the_problem() {
+        let e = tokenize("SELECT 'oops", &Ansi).unwrap_err();
+        assert_eq!(e, ParseError::UnterminatedString { span: Span::new(7, 12) });
+        let e = tokenize("SELECT \"", &Ansi).unwrap_err();
+        assert_eq!(e.kind(), "unterminated_ident");
+        let e = tokenize("SELECT \"\" FROM t", &Ansi).unwrap_err();
+        assert_eq!(e, ParseError::EmptyIdent { span: Span::new(7, 9) });
+        let e = tokenize("a # b", &Ansi).unwrap_err();
+        assert_eq!(e, ParseError::UnexpectedChar { ch: '#', span: Span::new(2, 3) });
+        let e = tokenize("$ 1", &Postgres).unwrap_err();
+        assert_eq!(e.kind(), "unexpected_char");
+    }
+
+    #[test]
+    fn dollar_is_rejected_outside_postgres() {
+        assert!(matches!(tokenize("$1", &Ansi), Err(ParseError::UnexpectedChar { ch: '$', .. })));
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive_and_unquoted_only() {
+        let toks = tokenize("select \"select\"", &MySql).unwrap();
+        // MySQL preserves case, so the keyword check must not rely on folding.
+        assert!(toks[0].is_kw("SELECT"));
+        let toks = tokenize("SELECT `select`", &MySql).unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(!toks[1].is_kw("SELECT"), "quoted words are identifiers, never keywords");
+    }
+}

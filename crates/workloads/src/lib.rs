@@ -16,5 +16,6 @@ pub mod log;
 pub mod params;
 pub mod tpcc;
 pub mod tpcds;
+pub mod tpch;
 
-pub use log::{build_log, build_record, QueryLog, QueryRecord};
+pub use log::{build_log, build_record, QueryLog, QueryRecord, SqlLineError, NO_TEMPLATE_HINT};

@@ -14,6 +14,20 @@ use wmp_plan::sql::render_sql;
 use wmp_plan::Catalog;
 use wmp_sim::{DbmsHeuristicEstimator, ExecutorSimulator};
 
+/// Template hint assigned to text-ingested queries, which have no
+/// generator template. Diagnostics only; models never read hints.
+pub const NO_TEMPLATE_HINT: usize = usize::MAX;
+
+/// A line of a SQL log that failed to parse or lower (see
+/// [`QueryLog::from_sql_lines`]).
+#[derive(Debug, Clone)]
+pub struct SqlLineError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// The typed, span-carrying rejection.
+    pub error: wmp_sql::ParseError,
+}
+
 /// One executed query: the paper's `q = (e, p, m)` plus the baseline estimate.
 #[derive(Debug, Clone)]
 pub struct QueryRecord {
@@ -77,6 +91,47 @@ impl QueryLog {
     /// empty stream (a resident server must not panic on a bad knob).
     pub fn replay(&self, chunk_size: usize) -> Replay<'_> {
         Replay { records: &self.records, chunk_size }
+    }
+
+    /// Builds a log from raw SQL text, one statement per line, parsed under
+    /// `dialect` — the ingestion path for a real DBMS query log. Blank lines
+    /// and `--` comment lines are skipped. Lines that fail to parse or lower
+    /// are *collected*, not fatal: a multi-million-query production log
+    /// always contains statements outside the supported subset, and the
+    /// caller decides whether the rejection rate is acceptable.
+    ///
+    /// Records get sequential ids, template hint [`NO_TEMPLATE_HINT`] (text
+    /// ingestion has no generator template), and selectivities from the
+    /// lowering defaults (`wmp_sql::lower`).
+    ///
+    /// # Errors
+    /// Propagates *planning* errors only — lowering already resolved every
+    /// identifier, so these indicate a catalog inconsistency, not bad input.
+    pub fn from_sql_lines(
+        benchmark: &str,
+        catalog: Catalog,
+        sql_lines: &str,
+        dialect: &dyn wmp_sql::Dialect,
+    ) -> PlanResult<(QueryLog, Vec<SqlLineError>)> {
+        let mut specs = Vec::new();
+        let mut errors = Vec::new();
+        let mut next_id = 0u64;
+        for (i, line) in sql_lines.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with("--") {
+                continue;
+            }
+            match wmp_sql::parse_to_spec(trimmed, dialect, &catalog) {
+                Ok(mut spec) => {
+                    spec.id = next_id;
+                    next_id += 1;
+                    specs.push((spec, NO_TEMPLATE_HINT));
+                }
+                Err(error) => errors.push(SqlLineError { line: i + 1, error }),
+            }
+        }
+        let log = build_log(benchmark, catalog, specs)?;
+        Ok((log, errors))
     }
 
     /// Mean true memory (MB) across the log — useful to sanity-check scale.
@@ -282,6 +337,49 @@ mod tests {
         let log = tiny_log(4);
         assert_eq!(log.replay(0).count(), 0, "chunk_size 0 is an empty stream");
         assert_eq!(tiny_log(0).replay(5).count(), 0, "empty log is an empty stream");
+    }
+
+    #[test]
+    fn from_sql_lines_builds_records_and_collects_rejects() {
+        let mut catalog = Catalog::new();
+        catalog.add_table(Table::new(
+            "t",
+            10_000,
+            vec![Column::new("a", ColumnType::Int, 100), Column::new("b", ColumnType::Int, 10)],
+        ));
+        let text = "\
+-- replayed production log
+SELECT t.a FROM t WHERE t.a = 5
+
+SELECT COUNT(*) FROM t WHERE t.b > 3
+DELETE FROM t
+SELECT t.a FROM t WHERE t.a = 1 OR t.b = 2
+SELECT t.a FROM nope
+";
+        let (log, errors) =
+            QueryLog::from_sql_lines("replay", catalog, text, &wmp_sql::Ansi).unwrap();
+        assert_eq!(log.len(), 2, "two parseable statements");
+        assert_eq!(log.benchmark, "replay");
+        assert_eq!(log.records[0].id, 0);
+        assert_eq!(log.records[1].id, 1);
+        for r in &log.records {
+            assert_eq!(r.template_hint, NO_TEMPLATE_HINT);
+            assert!(r.true_memory_mb > 0.0);
+        }
+        assert_eq!(errors.len(), 3);
+        assert_eq!(errors[0].line, 5, "line numbers point into the original text");
+        assert_eq!(errors[0].error.kind(), "unexpected_token"); // DELETE
+        assert_eq!(errors[1].error.kind(), "unsupported"); // OR
+        assert_eq!(errors[2].error.kind(), "unknown_table"); // nope
+    }
+
+    #[test]
+    fn from_sql_lines_on_empty_text_is_empty_not_an_error() {
+        let (log, errors) =
+            QueryLog::from_sql_lines("replay", Catalog::new(), "\n-- nothing\n", &wmp_sql::Ansi)
+                .unwrap();
+        assert!(log.is_empty());
+        assert!(errors.is_empty());
     }
 
     #[test]

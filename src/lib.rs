@@ -15,7 +15,8 @@
 //! | [`plan`] ([`wmp_plan`]) | schema/catalog, cardinality estimation, physical planner, plan features |
 //! | [`serve`] ([`wmp_serve`]) | thread-safe serving engine: streaming windows, shared handles, hot model swap |
 //! | [`sim`] ([`wmp_sim`]) | executor memory simulator (ground truth) + DBMS heuristic baseline + admission scenario |
-//! | [`workloads`] ([`wmp_workloads`]) | TPC-DS / JOB / TPC-C style generators and query logs |
+//! | [`sql`] ([`wmp_sql`]) | SQL front-end: tokenizer, dialect-aware parser, lowering to [`plan`] query specs |
+//! | [`workloads`] ([`wmp_workloads`]) | TPC-DS / JOB / TPC-C / TPC-H style generators and query logs |
 //! | [`text`] ([`wmp_text`]) | SQL tokenization, bag-of-words, text-mining, word embeddings |
 //! | [`obs`] ([`wmp_obs`]) | observability: metrics registry, tracing facade, prediction-quality monitors |
 //!
@@ -51,6 +52,32 @@
 //! assert!(predicted_mb > 0.0);
 //! assert_eq!(predicted_mb, model.predict_workload(&workload).unwrap());
 //! ```
+//!
+//! ## SQL ingestion
+//!
+//! Queries can also arrive as SQL text: [`sql`] tokenizes and parses the
+//! supported `SELECT` subset under a [`sql::Dialect`] (ANSI, Postgres,
+//! MySQL) and lowers the statement against a [`plan::Catalog`] into the
+//! same [`plan::query::QuerySpec`] the planner consumes, with typed,
+//! span-carrying errors instead of panics. At serving time, attach a
+//! [`serve::SqlFrontend`] and feed text straight into
+//! [`serve::Engine::submit_sql`]; offline, build a whole
+//! [`workloads::QueryLog`] from a text log with
+//! [`workloads::QueryLog::from_sql_lines`].
+//!
+//! ```
+//! use learnedwmp::sql::{parse_to_spec, Ansi};
+//!
+//! let catalog = learnedwmp::workloads::tpch::catalog();
+//! let spec = parse_to_spec(
+//!     "SELECT COUNT(*) FROM lineitem l WHERE l.l_quantity > 30",
+//!     &Ansi,
+//!     &catalog,
+//! )
+//! .unwrap();
+//! assert_eq!(spec.tables[0].table, "lineitem");
+//! assert_eq!(spec.predicates.len(), 1);
+//! ```
 
 pub use learnedwmp_core as core;
 pub use wmp_mlkit as mlkit;
@@ -58,5 +85,6 @@ pub use wmp_obs as obs;
 pub use wmp_plan as plan;
 pub use wmp_serve as serve;
 pub use wmp_sim as sim;
+pub use wmp_sql as sql;
 pub use wmp_text as text;
 pub use wmp_workloads as workloads;
