@@ -1,0 +1,88 @@
+//! Criterion bench for the multi-resource prediction path: one trained
+//! model answers memory + CPU + IO per workload through
+//! `WorkloadPredictor::predict_resources_many`, and the eval harness scores
+//! every axis (per-resource MAE, within-one-bucket accuracy). The run is
+//! persisted as `BENCH_multi_resource_eval.json` at the repository root
+//! (schema: [`wmp_bench::report`]) so per-axis accuracy and inference
+//! throughput are tracked across commits.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use learnedwmp_core::{EvalConfig, EvalContext, ModelKind, WorkloadPredictor};
+use wmp_bench::report::BenchReport;
+use wmp_obs::Histogram;
+use wmp_plan::ResourceKind;
+
+fn bench_multi_resource_eval(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let n_queries = if test_mode { 500 } else { 4_000 };
+    let k_templates = if test_mode { 12 } else { 40 };
+    let log = wmp_workloads::tpcds::generate(n_queries, 11).expect("tpcds generation");
+    let ctx = EvalContext::new(&log, EvalConfig { k_templates, ..Default::default() });
+
+    let mut report = BenchReport::new("multi_resource_eval", test_mode);
+    report
+        .config_num("n_queries", n_queries as f64)
+        .config_num("k_templates", k_templates as f64)
+        .config_num("n_test_workloads", ctx.test_workloads.len() as f64)
+        .config_str("dataset", "tpcds");
+
+    println!("multi-resource evaluation ({} test workloads):", ctx.test_workloads.len());
+    for kind in [ModelKind::Ridge, ModelKind::Xgb] {
+        let eval = ctx.evaluate_learned(kind).expect("evaluation");
+        println!("  {:<16} {}", eval.tag(), eval.resource_summary());
+
+        // Time the full-vector batched inference path for the trajectory.
+        let model = learnedwmp_core::LearnedWmp::builder()
+            .model(kind)
+            .templates(learnedwmp_core::TemplateSpec::PlanKMeans {
+                k: ctx.config.k_templates,
+                seed: ctx.config.seed,
+            })
+            .fit_refs(&ctx.train, &log.catalog)
+            .expect("training");
+        let predictor: &dyn WorkloadPredictor = &model;
+        if kind == ModelKind::Ridge {
+            c.bench_function("predict_resources_many_ridge", |b| {
+                b.iter(|| {
+                    predictor
+                        .predict_resources_many(&ctx.test, &ctx.test_workloads)
+                        .expect("prediction")
+                })
+            });
+        }
+        let passes = if test_mode { 3 } else { 20 };
+        let latency = Histogram::default();
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            let p0 = Instant::now();
+            black_box(
+                predictor
+                    .predict_resources_many(&ctx.test, &ctx.test_workloads)
+                    .expect("prediction"),
+            );
+            latency.record_duration(p0.elapsed());
+        }
+        let qps = (passes * ctx.test_workloads.len()) as f64 / t0.elapsed().as_secs_f64();
+
+        let mut extras: Vec<(&str, f64)> = Vec::new();
+        let metric_names = [
+            ("mae_memory_mb", "within_one_bucket_memory"),
+            ("mae_cpu_ms", "within_one_bucket_cpu"),
+            ("mae_io_pages", "within_one_bucket_io"),
+        ];
+        for kind in ResourceKind::ALL {
+            let i = kind.index();
+            extras.push((metric_names[i].0, eval.resource_mae[i]));
+            extras.push((metric_names[i].1, eval.within_one_bucket[i]));
+        }
+        extras.push(("p50_us", latency.quantile(0.50)));
+        let tag = eval.tag().to_lowercase().replace('-', "_");
+        report.result_metrics(&tag, qps, &extras);
+    }
+    report.write();
+}
+
+criterion_group!(benches, bench_multi_resource_eval);
+criterion_main!(benches);

@@ -56,7 +56,7 @@ fn mask_features(log: &QueryLog, keep_counts: bool) -> QueryLog {
 }
 
 fn sum_mem(records: &[&QueryRecord]) -> f64 {
-    records.iter().map(|r| r.true_memory_mb).sum()
+    records.iter().map(|r| r.true_memory_mb()).sum()
 }
 
 fn main() {

@@ -20,7 +20,7 @@ fn main() {
 
     // Variable-size test batches shared by both models.
     let test_ws = batch_workloads_variable(&ctx.test, 5, 15, 99, LabelMode::Sum);
-    let y: Vec<f64> = test_ws.iter().map(|w| w.y).collect();
+    let y: Vec<f64> = test_ws.iter().map(|w| w.y_mb()).collect();
 
     let builder = |k: usize| {
         LearnedWmp::builder()

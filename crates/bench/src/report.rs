@@ -91,6 +91,24 @@ impl BenchReport {
         self
     }
 
+    /// Records one named result with extra numeric metric fields (e.g.
+    /// per-resource MAE) alongside the mandatory `qps`/`ns_per_query` pair.
+    pub fn result_metrics(&mut self, name: &str, qps: f64, extras: &[(&str, f64)]) -> &mut Self {
+        let mut fields = vec![
+            ("name".to_string(), JsonValue::String(name.to_string())),
+            ("qps".to_string(), JsonValue::Number(qps)),
+            (
+                "ns_per_query".to_string(),
+                JsonValue::Number(if qps > 0.0 { 1e9 / qps } else { 0.0 }),
+            ),
+        ];
+        for (key, value) in extras {
+            fields.push(((*key).to_string(), JsonValue::Number(*value)));
+        }
+        self.results.push(JsonValue::Object(fields));
+        self
+    }
+
     /// The report as a JSON value (what [`BenchReport::write`] persists).
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![

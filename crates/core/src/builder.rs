@@ -297,29 +297,26 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_explicit_construction() {
+    fn fit_and_fit_refs_produce_identical_models() {
         let log = wmp_workloads::tpcc::generate(300, 9).unwrap();
         let refs: Vec<&QueryRecord> = log.records.iter().collect();
-        let built = LearnedWmp::builder()
-            .model(ModelKind::Xgb)
-            .templates(TemplateSpec::PlanKMeans { k: 8, seed: 4 })
-            .batch_size(10)
-            .seed(42)
-            .fit(&log)
-            .unwrap();
-        #[allow(deprecated)]
-        let trained = LearnedWmp::train(
-            LearnedWmpConfig { model: ModelKind::Xgb, ..Default::default() },
-            Box::new(PlanKMeansTemplates::new(8, 4)),
-            &refs,
-            &log.catalog,
-        )
-        .unwrap();
+        let make = || {
+            LearnedWmp::builder()
+                .model(ModelKind::Xgb)
+                .templates(TemplateSpec::PlanKMeans { k: 8, seed: 4 })
+                .batch_size(10)
+                .seed(42)
+        };
+        let from_log = make().fit(&log).unwrap();
+        let from_refs = make().fit_refs(&refs, &log.catalog).unwrap();
         for chunk in refs.chunks(10).take(4) {
             assert_eq!(
-                built.predict_workload(chunk).unwrap().to_bits(),
-                trained.predict_workload(chunk).unwrap().to_bits()
+                from_log.predict_workload(chunk).unwrap().to_bits(),
+                from_refs.predict_workload(chunk).unwrap().to_bits()
             );
+            let a = from_log.predict_resources(chunk).unwrap();
+            let b = from_refs.predict_resources(chunk).unwrap();
+            assert_eq!(a, b);
         }
     }
 

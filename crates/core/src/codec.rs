@@ -3,7 +3,7 @@
 //! §I deployment story (train offline, ship the model into the DBMS, load at
 //! startup, predict per arriving workload).
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! All integers are little-endian; `f64` values are IEEE-754 bit patterns,
 //! so save → load → predict is **bit-exact**. The container is:
@@ -11,7 +11,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic   b"LWMP"
-//! 4       2     format version (u16, currently 1)
+//! 4       2     format version (u16, currently 2)
 //! 6       2     reserved flags (u16, must be 0)
 //! 8       ..    body (see below)
 //! end-8   8     FNV-1a-64 checksum of every preceding byte
@@ -25,21 +25,30 @@
 //! provenance    n_train_workloads (u64), training timings (3 × f64:
 //!               template/histogram/fit milliseconds)
 //! templates     learner tag (u8), payload length (u64), payload
-//! regressor     payload length (u64), payload
+//! regressor     payload length (u64), payload:
+//!                 wrapper tag (u8): 0 = plain, 1 = multi-head
+//!                 0 → one regressor payload (decoder = config model kind)
+//!                 1 → a [`wmp_mlkit::MultiHead`] payload whose per-head
+//!                     payloads decode via the config model kind
 //! ```
 //!
 //! Template learner tags: 1 = plan-k-means, 2 = rule-based,
 //! 3 = bag-of-words, 4 = text-mining, 5 = word-embeddings, 6 = DBSCAN.
-//! The regressor payload needs no tag of its own — the config's model kind
-//! selects the decoder. Section payloads are length-prefixed so future
-//! readers can skip sections they do not understand, and the loader rejects
-//! payloads that decode to fewer/more bytes than declared.
+//! Section payloads are length-prefixed so future readers can skip sections
+//! they do not understand, and the loader rejects payloads that decode to
+//! fewer/more bytes than declared.
+//!
+//! Version 1 artifacts (written before multi-resource targets existed) are
+//! identical except the regressor payload has **no wrapper tag** — it is
+//! always one plain scalar regressor. The loader still reads them; the
+//! resulting model predicts memory natively and reports CPU/IO as zero via
+//! [`wmp_plan::ResourceVector::from_partial`] semantics.
 //!
 //! # Versioning policy
 //!
 //! - The format version is bumped only for **incompatible** layout changes;
-//!   a reader supports exactly the versions it lists (currently: 1) and
-//!   rejects others with a [`MlError::Codec`] naming both versions.
+//!   a reader supports exactly the versions it lists (currently: 1 and 2)
+//!   and rejects others with a [`MlError::Codec`] naming both versions.
 //! - Tag spaces (model kinds, template learners, tree-node/optimizer tags)
 //!   are **append-only**: values are never reassigned. New learners get new
 //!   tags, and old readers fail cleanly on unknown tags.
@@ -50,7 +59,7 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 use wmp_mlkit::codec as c;
-use wmp_mlkit::{MlError, MlResult, Regressor};
+use wmp_mlkit::{MlError, MlResult, MultiHead, Regressor};
 use wmp_obs::Level;
 
 use crate::histogram::HistogramMode;
@@ -64,8 +73,13 @@ use crate::workload::LabelMode;
 /// File magic: the first four bytes of every persisted model.
 pub const MAGIC: [u8; 4] = *b"LWMP";
 
-/// The container format version this build writes and reads.
-pub const FORMAT_VERSION: u16 = 1;
+/// The container format version this build writes. The loader also reads
+/// version-1 artifacts (scalar-memory models from before multi-resource
+/// targets).
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The oldest container format version the loader still reads.
+pub const MIN_FORMAT_VERSION: u16 = 1;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -116,6 +130,32 @@ fn read_regressor(kind: ModelKind, r: &mut dyn Read) -> MlResult<Box<dyn Regress
         ModelKind::Rf => Box::new(wmp_mlkit::forest::RandomForest::read_params(r)?),
         ModelKind::Xgb => Box::new(wmp_mlkit::gbdt::GradientBoosting::read_params(r)?),
     })
+}
+
+/// Wrapper tag inside the version-2 regressor section: a plain regressor
+/// decoded by the config's model kind.
+const WRAPPER_PLAIN: u8 = 0;
+/// Wrapper tag inside the version-2 regressor section: a [`MultiHead`] whose
+/// per-head payloads decode via the config's model kind.
+const WRAPPER_MULTI_HEAD: u8 = 1;
+
+/// Decodes the regressor-section payload for the given container version.
+fn read_wrapped_regressor(
+    version: u16,
+    kind: ModelKind,
+    r: &mut dyn Read,
+) -> MlResult<Box<dyn Regressor>> {
+    if version < 2 {
+        // Version 1 carried a bare scalar regressor with no wrapper tag.
+        return read_regressor(kind, r);
+    }
+    match c::read_u8(r)? {
+        WRAPPER_PLAIN => read_regressor(kind, r),
+        WRAPPER_MULTI_HEAD => {
+            Ok(Box::new(MultiHead::read_params(r, &move |hr| read_regressor(kind, hr))?))
+        }
+        other => Err(c::codec_err(format!("unknown regressor wrapper tag {other}"))),
+    }
 }
 
 fn label_mode_code(mode: LabelMode) -> u8 {
@@ -205,7 +245,15 @@ impl LearnedWmp {
         c::write_f64(&mut out, self.timings.fit_ms)?;
         c::write_u8(&mut out, template_tag(self.templates().name())?)?;
         write_section(&mut out, |buf| self.templates().save_params(buf))?;
-        write_section(&mut out, |buf| self.regressor().save_params(buf))?;
+        let wrapper = if self.regressor().as_multi_head().is_some() {
+            WRAPPER_MULTI_HEAD
+        } else {
+            WRAPPER_PLAIN
+        };
+        write_section(&mut out, |buf| {
+            c::write_u8(buf, wrapper)?;
+            self.regressor().save_params(buf)
+        })?;
         let checksum = fnv1a64(&out);
         c::write_u64(&mut out, checksum)?;
         w.write_all(&out).map_err(|e| MlError::Codec(format!("write model: {e}")))
@@ -288,9 +336,10 @@ impl LearnedWmp {
             return Err(c::codec_err("bad magic: not a LearnedWMP model file"));
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(c::codec_err(format!(
-                "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+                "unsupported format version {version} (this build reads versions \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             )));
         }
         let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
@@ -334,7 +383,8 @@ impl LearnedWmp {
         };
         let template_tag = c::read_u8(r)?;
         let templates = read_section(r, "template", |pr| read_template(template_tag, pr))?;
-        let regressor = read_section(r, "regressor", |pr| read_regressor(model, pr))?;
+        let regressor =
+            read_section(r, "regressor", |pr| read_wrapped_regressor(version, model, pr))?;
         if !r.is_empty() {
             return Err(c::codec_err(format!("{} undecoded bytes before the checksum", r.len())));
         }
@@ -401,6 +451,37 @@ mod tests {
                     reloaded.predict_workload(chunk).unwrap().to_bits(),
                     "{spec:?}"
                 );
+                assert_eq!(
+                    model.predict_resources(chunk).unwrap(),
+                    reloaded.predict_resources(chunk).unwrap(),
+                    "{spec:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_model_kind_round_trips_multi_output_bit_exact() {
+        let log = wmp_workloads::tpcc::generate(250, 3).unwrap();
+        let refs: Vec<&wmp_workloads::QueryRecord> = log.records.iter().collect();
+        for kind in ModelKind::ALL {
+            let model = LearnedWmp::builder()
+                .model(kind)
+                .templates(TemplateSpec::PlanKMeans { k: 6, seed: 1 })
+                .fit(&log)
+                .unwrap();
+            // Non-Ridge families train as multi-head wrappers; Ridge is
+            // native multi-output. Both shapes must survive the codec.
+            let reloaded = round_trip(&model);
+            for chunk in refs.chunks(10).take(3) {
+                let a = model.predict_resources(chunk).unwrap();
+                let b = reloaded.predict_resources(chunk).unwrap();
+                assert_eq!(
+                    a.as_array().map(f64::to_bits),
+                    b.as_array().map(f64::to_bits),
+                    "{kind:?}"
+                );
+                assert!(a.is_finite(), "{kind:?}: {a}");
             }
         }
     }

@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use wmp_mlkit::metrics::{mape, residuals, rmse, ResidualSummary};
 use wmp_mlkit::MlResult;
+use wmp_plan::{ResourceKind, ResourceVector, N_RESOURCES};
 use wmp_workloads::{QueryLog, QueryRecord};
 
 use crate::builder::TemplateSpec;
@@ -32,6 +33,10 @@ pub struct EvalConfig {
     pub label_mode: LabelMode,
     /// Histogram normalization.
     pub histogram_mode: HistogramMode,
+    /// Per-resource bucket widths for the within-one-bucket metric: a
+    /// prediction "hits" when its absolute error on an axis is at most that
+    /// axis's width (memory MB / CPU ms / IO pages).
+    pub bucket_widths: ResourceVector,
 }
 
 impl Default for EvalConfig {
@@ -43,6 +48,9 @@ impl Default for EvalConfig {
             seed: 42,
             label_mode: LabelMode::Sum,
             histogram_mode: HistogramMode::Counts,
+            // 100 MB matches the serving layer's quality-gauge bucket; CPU
+            // and IO widths are scaled to a 10-query TPC-C-like workload.
+            bucket_widths: ResourceVector::new(100.0, 100.0, 10_000.0),
         }
     }
 }
@@ -70,6 +78,13 @@ pub struct ModelReport {
     pub infer_us_per_workload: f64,
     /// Model size in kB (Fig. 8).
     pub model_kb: f64,
+    /// Mean absolute error per resource axis (memory MB / CPU ms /
+    /// IO pages), in [`ResourceKind::ALL`] order.
+    pub resource_mae: [f64; N_RESOURCES],
+    /// Fraction of test workloads whose per-axis absolute error is within
+    /// one [`EvalConfig::bucket_widths`] bucket, in [`ResourceKind::ALL`]
+    /// order.
+    pub within_one_bucket: [f64; N_RESOURCES],
 }
 
 impl ModelReport {
@@ -80,6 +95,25 @@ impl ModelReport {
         } else {
             format!("{}-{}", self.approach, self.model)
         }
+    }
+
+    /// One-line per-resource accuracy summary, e.g.
+    /// `memory MAE 41.2 MB (93% ±1 bucket) | cpu MAE 12.4 ms (88%) | ...`.
+    pub fn resource_summary(&self) -> String {
+        ResourceKind::ALL
+            .iter()
+            .map(|kind| {
+                let i = kind.index();
+                format!(
+                    "{} MAE {:.2} {} ({:.0}% ±1 bucket)",
+                    kind.label(),
+                    self.resource_mae[i],
+                    kind.unit(),
+                    self.within_one_bucket[i] * 100.0
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
     }
 }
 
@@ -93,6 +127,8 @@ fn report_from_predictions(
     total_train_ms: f64,
     infer_us_per_workload: f64,
     model_kb: f64,
+    resource_mae: [f64; N_RESOURCES],
+    within_one_bucket: [f64; N_RESOURCES],
 ) -> MlResult<ModelReport> {
     let res = residuals(y, preds)?;
     Ok(ModelReport {
@@ -106,7 +142,36 @@ fn report_from_predictions(
         total_train_ms,
         infer_us_per_workload,
         model_kb,
+        resource_mae,
+        within_one_bucket,
     })
+}
+
+/// Per-axis mean absolute error and within-one-bucket hit rates between
+/// actual and predicted resource vectors.
+fn resource_accuracy(
+    actual: &[ResourceVector],
+    predicted: &[ResourceVector],
+    bucket_widths: ResourceVector,
+) -> ([f64; N_RESOURCES], [f64; N_RESOURCES]) {
+    let n = actual.len().max(1) as f64;
+    let mut mae = [0.0; N_RESOURCES];
+    let mut hits = [0.0; N_RESOURCES];
+    for (a, p) in actual.iter().zip(predicted) {
+        let err = a.abs_diff(*p).as_array();
+        let widths = bucket_widths.as_array();
+        for i in 0..N_RESOURCES {
+            mae[i] += err[i];
+            if err[i] <= widths[i] {
+                hits[i] += 1.0;
+            }
+        }
+    }
+    for i in 0..N_RESOURCES {
+        mae[i] /= n;
+        hits[i] /= n;
+    }
+    (mae, hits)
 }
 
 /// A prepared train/test environment for one benchmark log.
@@ -121,8 +186,10 @@ pub struct EvalContext<'a> {
     pub test: Vec<&'a QueryRecord>,
     /// Batched test workloads with labels.
     pub test_workloads: Vec<Workload>,
-    /// Test labels `y` per workload.
+    /// Test labels `y` per workload (memory axis, MB).
     pub y_test: Vec<f64>,
+    /// Full per-workload resource labels (memory / CPU / IO).
+    pub y_test_resources: Vec<ResourceVector>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -137,8 +204,9 @@ impl<'a> EvalContext<'a> {
             config.seed.wrapping_add(1),
             config.label_mode,
         );
-        let y_test: Vec<f64> = test_workloads.iter().map(|w| w.y).collect();
-        EvalContext { log, config, train, test, test_workloads, y_test }
+        let y_test: Vec<f64> = test_workloads.iter().map(Workload::y_mb).collect();
+        let y_test_resources: Vec<ResourceVector> = test_workloads.iter().map(|w| w.y).collect();
+        EvalContext { log, config, train, test, test_workloads, y_test, y_test_resources }
     }
 
     /// Evaluates any predictor — accuracy, timed batched inference, and
@@ -159,8 +227,13 @@ impl<'a> EvalContext<'a> {
         total_train_ms: f64,
     ) -> MlResult<ModelReport> {
         let t0 = Instant::now();
-        let preds = predictor.predict_workloads(&self.test, &self.test_workloads)?;
+        let vec_preds = predictor.predict_resources_many(&self.test, &self.test_workloads)?;
         let infer_us = t0.elapsed().as_secs_f64() * 1e6 / self.test_workloads.len().max(1) as f64;
+        // Head 0 of every predictor is bit-identical to its scalar memory
+        // path, so the projection preserves the legacy RMSE/MAPE numbers.
+        let preds: Vec<f64> = vec_preds.iter().map(|v| v.memory_mb).collect();
+        let (resource_mae, within_one_bucket) =
+            resource_accuracy(&self.y_test_resources, &vec_preds, self.config.bucket_widths);
         report_from_predictions(
             approach,
             model,
@@ -170,6 +243,8 @@ impl<'a> EvalContext<'a> {
             total_train_ms,
             infer_us,
             predictor.footprint_bytes() as f64 / 1024.0,
+            resource_mae,
+            within_one_bucket,
         )
     }
 
@@ -291,6 +366,29 @@ mod tests {
         assert_eq!(single.tag(), "SingleWMP-DT");
         assert!(single.rmse.is_finite());
         assert!(single.infer_us_per_workload > 0.0);
+    }
+
+    #[test]
+    fn reports_carry_per_resource_accuracy() {
+        let log = ctx_log();
+        let ctx = EvalContext::new(&log, EvalConfig { k_templates: 12, ..Default::default() });
+        assert_eq!(ctx.y_test_resources.len(), ctx.y_test.len());
+        assert!(ctx
+            .y_test_resources
+            .iter()
+            .zip(&ctx.y_test)
+            .all(|(v, y)| v.memory_mb.to_bits() == y.to_bits()));
+        let r = ctx.evaluate_learned(ModelKind::Ridge).unwrap();
+        for i in 0..N_RESOURCES {
+            assert!(
+                r.resource_mae[i].is_finite() && r.resource_mae[i] > 0.0,
+                "{:?}",
+                r.resource_mae
+            );
+            assert!((0.0..=1.0).contains(&r.within_one_bucket[i]), "{:?}", r.within_one_bucket);
+        }
+        let summary = r.resource_summary();
+        assert!(summary.contains("memory MAE") && summary.contains("cpu MAE"), "{summary}");
     }
 
     #[test]

@@ -219,6 +219,10 @@ impl WorkloadPredictor for PredictorHandle {
         self.snapshot().predict_workload(queries)
     }
 
+    fn predict_resources(&self, queries: &[&QueryRecord]) -> MlResult<wmp_plan::ResourceVector> {
+        self.snapshot().predict_resources(queries)
+    }
+
     fn predict_workloads(
         &self,
         records: &[&QueryRecord],
@@ -227,6 +231,14 @@ impl WorkloadPredictor for PredictorHandle {
         // One snapshot for the whole batch: every workload of the batch is
         // scored by the same model even if a swap lands mid-batch.
         self.snapshot().predict_workloads(records, workloads)
+    }
+
+    fn predict_resources_many(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<wmp_plan::ResourceVector>> {
+        self.snapshot().predict_resources_many(records, workloads)
     }
 
     fn footprint_bytes(&self) -> usize {
@@ -291,7 +303,7 @@ mod tests {
         let probe: Vec<&wmp_workloads::QueryRecord> = log.records[..10].iter().collect();
         let handle = PredictorHandle::new(SingleWmpDbms);
         let p: &dyn WorkloadPredictor = &handle;
-        let expected: f64 = probe.iter().map(|q| q.dbms_estimate_mb).sum();
+        let expected: f64 = probe.iter().map(|q| q.dbms_estimate_mb()).sum();
         assert!((p.predict_workload(&probe).unwrap() - expected).abs() < 1e-9);
         assert_eq!(p.footprint_bytes(), 0);
     }

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use wmp_mlkit::{Matrix, MlError, MlResult, Regressor};
-use wmp_plan::Catalog;
+use wmp_plan::{Catalog, ResourceVector, N_RESOURCES};
 use wmp_workloads::QueryRecord;
 
 use crate::histogram::{build_histogram, HistogramMode};
@@ -98,39 +98,6 @@ impl LearnedWmp {
         crate::builder::LearnedWmpBuilder::new()
     }
 
-    /// Trains the full pipeline (TR3–TR6) on a training log.
-    ///
-    /// # Errors
-    /// Propagates template-learning and regression errors; fails on an empty
-    /// training set or when fewer than one full workload can be formed.
-    #[deprecated(since = "0.2.0", note = "use `LearnedWmp::builder()` instead")]
-    pub fn train(
-        config: LearnedWmpConfig,
-        templates: Box<dyn TemplateLearner>,
-        records: &[&QueryRecord],
-        catalog: &Catalog,
-    ) -> MlResult<Self> {
-        Self::fit_impl(config, templates, records, catalog, None)
-    }
-
-    /// Trains on pre-built workloads.
-    ///
-    /// # Errors
-    /// Same conditions as [`LearnedWmp::train`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `LearnedWmp::builder()...fit_workloads(...)` instead"
-    )]
-    pub fn train_with_workloads(
-        config: LearnedWmpConfig,
-        templates: Box<dyn TemplateLearner>,
-        records: &[&QueryRecord],
-        catalog: &Catalog,
-        workloads: Vec<crate::workload::Workload>,
-    ) -> MlResult<Self> {
-        Self::fit_impl(config, templates, records, catalog, Some(workloads))
-    }
-
     /// The shared training pipeline behind the builder (TR3–TR6). When
     /// `workloads` is `None`, fixed-size batches are drawn from the config;
     /// `Some` supports the variable-length-workload extension (§I: "the
@@ -145,6 +112,16 @@ impl LearnedWmp {
     ) -> MlResult<Self> {
         if records.is_empty() {
             return Err(MlError::EmptyInput("LearnedWmp::train"));
+        }
+        // Training features must agree on one width: plan-feature templates
+        // learn centroids of that width, and a mixed-width log means the
+        // featurizer changed mid-collection — a corrupt training set.
+        let width = records[0].features.len();
+        if let Some(bad) = records.iter().find(|r| r.features.len() != width) {
+            return Err(wmp_mlkit::error::dim_mismatch(
+                format!("every record featurized to {width} values (record 0's width)"),
+                format!("record id {} has {} values", bad.id, bad.features.len()),
+            ));
         }
         let workloads = workloads.unwrap_or_else(|| {
             batch_workloads(records, config.batch_size, config.seed, config.label_mode)
@@ -185,13 +162,18 @@ impl LearnedWmp {
             })
             .collect::<MlResult<_>>()?;
         let x = Matrix::from_rows(&rows)?;
-        let y: Vec<f64> = workloads.iter().map(|w| w.y).collect();
+        // One target column per resource axis, memory first so the scalar
+        // prediction path (head 0) remains the paper's memory predictor.
+        let targets: Vec<Vec<f64>> = (0..N_RESOURCES)
+            .map(|t| workloads.iter().map(|w| w.y.as_array()[t]).collect())
+            .collect();
         let histogram_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-        // TR6: train the distribution regressor.
-        let mut regressor = config.model.build(Approach::Learned, workloads.len());
+        // TR6: train the multi-output distribution regressor.
+        let mut regressor =
+            config.model.build_multi(Approach::Learned, workloads.len(), N_RESOURCES);
         let t2 = Instant::now();
-        regressor.fit(&x, &y)?;
+        regressor.fit_multi(&x, &targets)?;
         let fit_ms = t2.elapsed().as_secs_f64() * 1e3;
 
         Ok(LearnedWmp {
@@ -203,7 +185,28 @@ impl LearnedWmp {
         })
     }
 
-    /// Inference (IN1–IN5): predicts the memory demand of one workload.
+    /// Inference (IN1–IN5): predicts the full resource demand of one
+    /// workload — memory (MB), CPU time (ms), and IO (pages).
+    ///
+    /// Models trained before multi-resource labels predict only the memory
+    /// axis; the CPU and IO components come back as zero
+    /// ([`ResourceVector::from_partial`]), so v1 artifacts keep serving.
+    ///
+    /// # Errors
+    /// Propagates assignment/prediction errors.
+    pub fn predict_resources(&self, queries: &[&QueryRecord]) -> MlResult<ResourceVector> {
+        let assignments: Vec<usize> =
+            queries.iter().map(|r| self.templates.assign(r)).collect::<MlResult<_>>()?;
+        let h = build_histogram(
+            &assignments,
+            self.templates.n_templates(),
+            self.config.histogram_mode,
+        )?;
+        Ok(ResourceVector::from_partial(&self.regressor.predict_row_multi(&h)?))
+    }
+
+    /// Predicts the memory demand (MB) of one workload — the memory
+    /// projection of [`LearnedWmp::predict_resources`].
     ///
     /// # Errors
     /// Propagates assignment/prediction errors.
@@ -234,9 +237,38 @@ impl LearnedWmp {
         records: &[&QueryRecord],
         workloads: &[Workload],
     ) -> MlResult<Vec<f64>> {
+        let hs = self.workload_histograms(records, workloads)?;
+        hs.iter().map(|h| self.regressor.predict_row(h)).collect()
+    }
+
+    /// Batched full-resource inference: one [`ResourceVector`] per workload,
+    /// with the same per-record template-assignment memoization as
+    /// [`LearnedWmp::predict_workloads`].
+    ///
+    /// # Errors
+    /// Same conditions as [`LearnedWmp::predict_workloads`].
+    pub fn predict_resources_many(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<ResourceVector>> {
+        let hs = self.workload_histograms(records, workloads)?;
+        hs.iter()
+            .map(|h| Ok(ResourceVector::from_partial(&self.regressor.predict_row_multi(h)?)))
+            .collect()
+    }
+
+    /// IN1–IN4 for a batched test set: builds every workload's template
+    /// histogram, assigning each distinct record at most once (memoized by
+    /// index) so overlapping workloads never re-run IN3 per membership.
+    fn workload_histograms(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<Vec<f64>>> {
         let mut assignments: Vec<Option<usize>> = vec![None; records.len()];
         let k = self.templates.n_templates();
-        let mut preds = Vec::with_capacity(workloads.len());
+        let mut hs = Vec::with_capacity(workloads.len());
         let mut member = Vec::new();
         for w in workloads {
             member.clear();
@@ -257,10 +289,9 @@ impl LearnedWmp {
                 };
                 member.push(a);
             }
-            let h = build_histogram(&member, k, self.config.histogram_mode)?;
-            preds.push(self.regressor.predict_row(&h)?);
+            hs.push(build_histogram(&member, k, self.config.histogram_mode)?);
         }
-        Ok(preds)
+        Ok(hs)
     }
 
     /// Assigns one query to its learned template (IN3 for a single record) —
@@ -359,7 +390,7 @@ mod tests {
         // A workload of 10 heavy queries must predict more than 10 light ones.
         let (log, wmp) = trained(ModelKind::Xgb);
         let mut sorted: Vec<&QueryRecord> = log.records.iter().collect();
-        sorted.sort_by(|a, b| a.true_memory_mb.partial_cmp(&b.true_memory_mb).unwrap());
+        sorted.sort_by(|a, b| a.true_memory_mb().partial_cmp(&b.true_memory_mb()).unwrap());
         let light = &sorted[..10];
         let heavy = &sorted[sorted.len() - 10..];
         let p_light = wmp.predict_workload(light).unwrap();
@@ -373,9 +404,59 @@ mod tests {
         let refs: Vec<&QueryRecord> = log.records.iter().collect();
         let ws = batch_workloads(&refs, 10, 7, LabelMode::Sum);
         let preds = wmp.predict_workloads(&refs, &ws).unwrap();
-        let y: Vec<f64> = ws.iter().map(|w| w.y).collect();
+        let y: Vec<f64> = ws.iter().map(Workload::y_mb).collect();
         let mape = wmp_mlkit::metrics::mape(&y, &preds).unwrap();
         assert!(mape < 60.0, "in-sample MAPE = {mape}%");
+    }
+
+    #[test]
+    fn predicts_all_three_resources() {
+        let (log, wmp) = trained(ModelKind::Xgb);
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let r = wmp.predict_resources(&refs[..10]).unwrap();
+        assert!(r.is_finite(), "{r}");
+        assert!(r.memory_mb > 0.0 && r.cpu_ms > 0.0 && r.io_pages > 0.0, "{r}");
+        // The memory axis is exactly the scalar prediction path (head 0).
+        assert_eq!(r.memory_mb.to_bits(), wmp.predict_workload(&refs[..10]).unwrap().to_bits());
+        // Batched full-resource inference matches the per-workload path.
+        let ws = batch_workloads(&refs, 10, 7, LabelMode::Sum);
+        let many = wmp.predict_resources_many(&refs, &ws).unwrap();
+        assert_eq!(many.len(), ws.len());
+        for (w, vec_pred) in ws.iter().zip(&many) {
+            let qs: Vec<&QueryRecord> = w.query_indices.iter().map(|&i| refs[i]).collect();
+            assert_eq!(wmp.predict_resources(&qs).unwrap(), *vec_pred);
+        }
+    }
+
+    #[test]
+    fn cpu_and_io_predictions_are_usefully_accurate_in_sample() {
+        let (log, wmp) = trained(ModelKind::Xgb);
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let ws = batch_workloads(&refs, 10, 7, LabelMode::Sum);
+        let preds = wmp.predict_resources_many(&refs, &ws).unwrap();
+        // TPC-C per-query CPU is heavily skewed (a few analytic-ish queries
+        // dominate), which makes MAPE explode on near-zero-label workloads;
+        // r2 is the meaningful "explains the variance" check here.
+        for (axis, label) in [(1, "cpu_ms"), (2, "io_pages")] {
+            let y: Vec<f64> = ws.iter().map(|w| w.y.as_array()[axis]).collect();
+            let p: Vec<f64> = preds.iter().map(|r| r.as_array()[axis]).collect();
+            let r2 = wmp_mlkit::metrics::r2(&y, &p).unwrap();
+            assert!(r2 > 0.5, "in-sample {label} r2 = {r2}");
+        }
+    }
+
+    #[test]
+    fn mixed_feature_widths_are_rejected_at_train_time() {
+        let log = wmp_workloads::tpcc::generate(60, 2).unwrap();
+        let mut records = log.records.clone();
+        records[7].features.truncate(4);
+        let refs: Vec<&QueryRecord> = records.iter().collect();
+        let err = LearnedWmp::builder()
+            .model(ModelKind::Ridge)
+            .templates(crate::builder::TemplateSpec::PlanKMeans { k: 4, seed: 0 })
+            .fit_refs(&refs, &log.catalog)
+            .unwrap_err();
+        assert!(err.to_string().contains("width"), "{err}");
     }
 
     #[test]

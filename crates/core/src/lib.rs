@@ -56,3 +56,6 @@ pub use template::{
     TextTemplates,
 };
 pub use workload::{batch_workloads, batch_workloads_variable, LabelMode, Workload};
+// Resource-target vocabulary from the planning substrate, re-exported so
+// multi-output callers need only this crate.
+pub use wmp_plan::{ResourceKind, ResourceVector, N_RESOURCES};

@@ -7,7 +7,7 @@ use wmp_mlkit::gbdt::{GradientBoosting, GradientBoostingConfig};
 use wmp_mlkit::mlp::{Activation, Mlp, MlpConfig, OptimizerKind};
 use wmp_mlkit::ridge::Ridge;
 use wmp_mlkit::tree::{DecisionTree, DecisionTreeConfig};
-use wmp_mlkit::Regressor;
+use wmp_mlkit::{MultiHead, Regressor};
 
 /// Which learner family to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -152,6 +152,33 @@ impl ModelKind {
     }
 }
 
+impl ModelKind {
+    /// Builds an unfitted regressor that predicts `n_targets` outputs per
+    /// row — the multi-resource counterpart of [`ModelKind::build`].
+    ///
+    /// Ridge solves every target natively against one shared factorization;
+    /// the inherently scalar families (trees, boosting, the MLP) are wrapped
+    /// in a [`MultiHead`] with one independently configured head per target.
+    /// `n_targets == 1` degenerates to [`ModelKind::build`].
+    ///
+    /// # Panics
+    /// Panics when `n_targets` is 0 — a regressor with no outputs is a
+    /// construction bug, not a runtime condition.
+    pub fn build_multi(
+        self,
+        approach: Approach,
+        n_train: usize,
+        n_targets: usize,
+    ) -> Box<dyn Regressor> {
+        assert!(n_targets >= 1, "a regressor needs at least one target");
+        if n_targets == 1 || self == ModelKind::Ridge {
+            return self.build(approach, n_train);
+        }
+        let heads = (0..n_targets).map(|_| self.build(approach, n_train)).collect();
+        Box::new(MultiHead::new(heads).expect("n_targets >= 1 heads"))
+    }
+}
+
 impl std::fmt::Display for ModelKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
@@ -197,6 +224,36 @@ mod tests {
         learned.fit(&x, &y).unwrap();
         single.fit(&x, &y).unwrap();
         assert!(single.footprint_bytes() > 2 * learned.footprint_bytes());
+    }
+
+    #[test]
+    fn build_multi_fits_and_predicts_every_family() {
+        let x =
+            Matrix::from_rows(&(0..40).map(|i| vec![i as f64, (i % 5) as f64]).collect::<Vec<_>>())
+                .unwrap();
+        let targets = vec![
+            (0..40).map(|i| (i * 2) as f64).collect::<Vec<f64>>(),
+            (0..40).map(|i| 500.0 - i as f64).collect(),
+            (0..40).map(|i| (i % 5) as f64 * 10.0).collect(),
+        ];
+        for kind in ModelKind::ALL {
+            let mut m = kind.build_multi(Approach::Learned, 40, 3);
+            assert_eq!(m.name(), kind.build(Approach::Learned, 40).name(), "{kind}");
+            m.fit_multi(&x, &targets).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(m.n_outputs(), 3, "{kind}");
+            let out = m.predict_row_multi(&[10.0, 0.0]).unwrap();
+            assert_eq!(out.len(), 3, "{kind}");
+            assert!(out.iter().all(|v| v.is_finite()), "{kind}: {out:?}");
+            // Head 0 answers scalar predictions.
+            assert_eq!(m.predict_row(&[10.0, 0.0]).unwrap().to_bits(), out[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn build_multi_with_one_target_is_the_scalar_build() {
+        let m = ModelKind::Xgb.build_multi(Approach::Single, 100, 1);
+        assert_eq!(m.n_outputs(), 1);
+        assert!(m.as_multi_head().is_none());
     }
 
     #[test]

@@ -155,7 +155,7 @@ impl OnlineWmp {
         }
     }
 
-    /// Predicts an unseen workload's memory demand.
+    /// Predicts an unseen workload's memory demand (MB).
     ///
     /// # Errors
     /// Returns [`MlError::NotFitted`] before the first (re)training.
@@ -164,6 +164,21 @@ impl OnlineWmp {
             .as_ref()
             .ok_or(MlError::NotFitted("OnlineWmp (no retraining has happened yet)"))?
             .predict_workload(queries)
+    }
+
+    /// Predicts an unseen workload's full resource demand (memory MB /
+    /// CPU ms / IO pages).
+    ///
+    /// # Errors
+    /// Returns [`MlError::NotFitted`] before the first (re)training.
+    pub fn predict_resources(
+        &self,
+        queries: &[&QueryRecord],
+    ) -> MlResult<wmp_plan::ResourceVector> {
+        self.model
+            .as_ref()
+            .ok_or(MlError::NotFitted("OnlineWmp (no retraining has happened yet)"))?
+            .predict_resources(queries)
     }
 
     /// Number of retraining passes so far.
@@ -257,7 +272,7 @@ mod tests {
             let refs: Vec<&QueryRecord> = log.records.iter().collect();
             let ws =
                 crate::workload::batch_workloads(&refs, 10, 7, crate::workload::LabelMode::Sum);
-            let y: Vec<f64> = ws.iter().map(|w| w.y).collect();
+            let y: Vec<f64> = ws.iter().map(crate::workload::Workload::y_mb).collect();
             let preds: Vec<f64> = ws
                 .iter()
                 .map(|w| {

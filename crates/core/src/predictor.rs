@@ -11,6 +11,7 @@
 //! special-casing the model family at any call site.
 
 use wmp_mlkit::MlResult;
+use wmp_plan::ResourceVector;
 use wmp_workloads::QueryRecord;
 
 use crate::learned::LearnedWmp;
@@ -54,12 +55,27 @@ pub trait WorkloadPredictor: Send + Sync {
     /// Stable display name, e.g. `"LearnedWMP-XGB"` or `"SingleWMP-DBMS"`.
     fn name(&self) -> String;
 
-    /// Predicts the memory demand (MB) of one workload.
+    /// Predicts the full resource demand of one workload — memory (MB), CPU
+    /// time (ms), and IO (pages). This is the primary prediction surface;
+    /// memory-only call sites use [`WorkloadPredictor::predict_workload`].
+    ///
+    /// Families without a model for an axis (and models trained before
+    /// multi-resource labels) report zero on that axis.
     ///
     /// # Errors
     /// Propagates assignment/prediction errors; models that must be trained
     /// first return [`wmp_mlkit::MlError::NotFitted`].
-    fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64>;
+    fn predict_resources(&self, queries: &[&QueryRecord]) -> MlResult<ResourceVector>;
+
+    /// Predicts the memory demand (MB) of one workload — the memory
+    /// projection of [`WorkloadPredictor::predict_resources`].
+    /// Implementations with a cheaper scalar path may override it.
+    ///
+    /// # Errors
+    /// Same conditions as [`WorkloadPredictor::predict_resources`].
+    fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
+        Ok(self.predict_resources(queries)?.memory_mb)
+    }
 
     /// Predicts every workload of a batched test set (indices into
     /// `records`). Implementations may override this with a batched fast
@@ -76,6 +92,21 @@ pub trait WorkloadPredictor: Send + Sync {
         workloads: &[Workload],
     ) -> MlResult<Vec<f64>> {
         workloads.iter().map(|w| self.predict_workload(&gather_queries(records, w)?)).collect()
+    }
+
+    /// Predicts every workload's full resource demand. The default resolves
+    /// and validates indices per workload and calls
+    /// [`WorkloadPredictor::predict_resources`]; implementations with a
+    /// batched fast path may override it.
+    ///
+    /// # Errors
+    /// Same conditions as [`WorkloadPredictor::predict_workloads`].
+    fn predict_resources_many(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<ResourceVector>> {
+        workloads.iter().map(|w| self.predict_resources(&gather_queries(records, w)?)).collect()
     }
 
     /// Size of the learned parameters in bytes (0 for pure heuristics) — the
@@ -99,6 +130,10 @@ impl WorkloadPredictor for LearnedWmp {
         format!("LearnedWMP-{}", self.config().model.label())
     }
 
+    fn predict_resources(&self, queries: &[&QueryRecord]) -> MlResult<ResourceVector> {
+        LearnedWmp::predict_resources(self, queries)
+    }
+
     fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
         LearnedWmp::predict_workload(self, queries)
     }
@@ -113,6 +148,14 @@ impl WorkloadPredictor for LearnedWmp {
         LearnedWmp::predict_workloads(self, records, workloads)
     }
 
+    fn predict_resources_many(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<ResourceVector>> {
+        LearnedWmp::predict_resources_many(self, records, workloads)
+    }
+
     fn footprint_bytes(&self) -> usize {
         LearnedWmp::footprint_bytes(self)
     }
@@ -125,6 +168,10 @@ impl WorkloadPredictor for LearnedWmp {
 impl WorkloadPredictor for SingleWmp {
     fn name(&self) -> String {
         format!("SingleWMP-{}", self.model().label())
+    }
+
+    fn predict_resources(&self, queries: &[&QueryRecord]) -> MlResult<ResourceVector> {
+        SingleWmp::predict_resources(self, queries)
     }
 
     fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
@@ -142,6 +189,10 @@ impl WorkloadPredictor for SingleWmp {
 impl WorkloadPredictor for SingleWmpDbms {
     fn name(&self) -> String {
         "SingleWMP-DBMS".to_string()
+    }
+
+    fn predict_resources(&self, queries: &[&QueryRecord]) -> MlResult<ResourceVector> {
+        Ok(SingleWmpDbms::predict_resources(self, queries))
     }
 
     fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
@@ -163,6 +214,10 @@ impl WorkloadPredictor for OnlineWmp {
         }
     }
 
+    fn predict_resources(&self, queries: &[&QueryRecord]) -> MlResult<ResourceVector> {
+        OnlineWmp::predict_resources(self, queries)
+    }
+
     fn predict_workload(&self, queries: &[&QueryRecord]) -> MlResult<f64> {
         OnlineWmp::predict_workload(self, queries)
     }
@@ -174,6 +229,19 @@ impl WorkloadPredictor for OnlineWmp {
     ) -> MlResult<Vec<f64>> {
         match self.model() {
             Some(m) => LearnedWmp::predict_workloads(m, records, workloads),
+            None => {
+                Err(wmp_mlkit::MlError::NotFitted("OnlineWmp (no retraining has happened yet)"))
+            }
+        }
+    }
+
+    fn predict_resources_many(
+        &self,
+        records: &[&QueryRecord],
+        workloads: &[Workload],
+    ) -> MlResult<Vec<ResourceVector>> {
+        match self.model() {
+            Some(m) => LearnedWmp::predict_resources_many(m, records, workloads),
             None => {
                 Err(wmp_mlkit::MlError::NotFitted("OnlineWmp (no retraining has happened yet)"))
             }
@@ -218,6 +286,17 @@ mod tests {
             let many = p.predict_workloads(&refs, &ws).unwrap();
             assert_eq!(many.len(), ws.len(), "{}", p.name());
             assert!(many.iter().all(|v| v.is_finite()), "{}", p.name());
+            // The full-resource surface serves every family too, and its
+            // memory axis agrees with the scalar path.
+            let vec_one = p.predict_resources(&refs[..10]).unwrap();
+            assert!(vec_one.is_finite(), "{}: {vec_one}", p.name());
+            assert_eq!(vec_one.memory_mb.to_bits(), one.to_bits(), "{}", p.name());
+            assert!(vec_one.cpu_ms > 0.0, "{}: cpu axis must be modeled", p.name());
+            let vec_many = p.predict_resources_many(&refs, &ws).unwrap();
+            assert_eq!(vec_many.len(), ws.len(), "{}", p.name());
+            for (scalar, vector) in many.iter().zip(&vec_many) {
+                assert_eq!(vector.memory_mb.to_bits(), scalar.to_bits(), "{}", p.name());
+            }
         }
         let names: Vec<String> = predictors.iter().map(|p| p.name()).collect();
         assert_eq!(names, vec!["LearnedWMP-Ridge", "SingleWMP-Ridge", "SingleWMP-DBMS"]);

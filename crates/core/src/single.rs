@@ -4,6 +4,7 @@
 use std::time::Instant;
 
 use wmp_mlkit::{Matrix, MlError, MlResult, Regressor};
+use wmp_plan::{ResourceVector, N_RESOURCES};
 use wmp_workloads::QueryRecord;
 
 use crate::model::{Approach, ModelKind};
@@ -30,15 +31,18 @@ impl SingleWmp {
         }
         let rows: Vec<Vec<f64>> = records.iter().map(|r| r.features.clone()).collect();
         let x = Matrix::from_rows(&rows)?;
-        let y: Vec<f64> = records.iter().map(|r| r.true_memory_mb).collect();
-        let mut regressor = model.build(Approach::Single, records.len());
+        // One target column per resource axis, memory first.
+        let targets: Vec<Vec<f64>> = (0..N_RESOURCES)
+            .map(|t| records.iter().map(|r| r.resources.as_array()[t]).collect())
+            .collect();
+        let mut regressor = model.build_multi(Approach::Single, records.len(), N_RESOURCES);
         let t0 = Instant::now();
-        regressor.fit(&x, &y)?;
+        regressor.fit_multi(&x, &targets)?;
         let fit_ms = t0.elapsed().as_secs_f64() * 1e3;
         Ok(SingleWmp { model, regressor, fit_ms, n_train_queries: records.len() })
     }
 
-    /// Per-query memory prediction.
+    /// Per-query memory prediction (MB).
     ///
     /// # Errors
     /// Propagates prediction errors.
@@ -46,7 +50,16 @@ impl SingleWmp {
         self.regressor.predict_row(&record.features)
     }
 
-    /// Workload prediction = Σ per-query predictions (paper eq. 11).
+    /// Per-query full-resource prediction (memory MB / CPU ms / IO pages).
+    ///
+    /// # Errors
+    /// Propagates prediction errors.
+    pub fn predict_query_resources(&self, record: &QueryRecord) -> MlResult<ResourceVector> {
+        Ok(ResourceVector::from_partial(&self.regressor.predict_row_multi(&record.features)?))
+    }
+
+    /// Workload prediction = Σ per-query predictions (paper eq. 11), memory
+    /// axis only.
     ///
     /// # Errors
     /// Propagates prediction errors.
@@ -54,6 +67,18 @@ impl SingleWmp {
         let mut total = 0.0;
         for q in queries {
             total += self.predict_query(q)?;
+        }
+        Ok(total)
+    }
+
+    /// Workload resource prediction = componentwise Σ per-query predictions.
+    ///
+    /// # Errors
+    /// Propagates prediction errors.
+    pub fn predict_resources(&self, queries: &[&QueryRecord]) -> MlResult<ResourceVector> {
+        let mut total = ResourceVector::ZERO;
+        for q in queries {
+            total += self.predict_query_resources(q)?;
         }
         Ok(total)
     }
@@ -94,9 +119,15 @@ impl SingleWmp {
 pub struct SingleWmpDbms;
 
 impl SingleWmpDbms {
-    /// Workload estimate = Σ per-query optimizer estimates.
+    /// Workload estimate = Σ per-query optimizer memory estimates (MB).
     pub fn predict_workload(&self, queries: &[&QueryRecord]) -> f64 {
-        queries.iter().map(|q| q.dbms_estimate_mb).sum()
+        queries.iter().map(|q| q.dbms_estimate_mb()).sum()
+    }
+
+    /// Workload resource estimate = componentwise Σ per-query optimizer
+    /// estimates (the cost-model side of the heuristic).
+    pub fn predict_resources(&self, queries: &[&QueryRecord]) -> ResourceVector {
+        queries.iter().map(|q| q.dbms_estimate).sum()
     }
 
     /// Predicts every workload in a batched test set.
@@ -139,9 +170,41 @@ mod tests {
         let refs: Vec<&QueryRecord> = log.records.iter().collect();
         let m = SingleWmp::train(ModelKind::Rf, &refs).unwrap();
         let preds: Vec<f64> = refs.iter().map(|r| m.predict_query(r).unwrap()).collect();
-        let y: Vec<f64> = refs.iter().map(|r| r.true_memory_mb).collect();
+        let y: Vec<f64> = refs.iter().map(|r| r.true_memory_mb()).collect();
         let r2 = wmp_mlkit::metrics::r2(&y, &preds).unwrap();
         assert!(r2 > 0.7, "in-sample r2 = {r2}");
+    }
+
+    #[test]
+    fn resource_predictions_cover_all_axes_and_sum_over_the_workload() {
+        let log = log();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let m = SingleWmp::train(ModelKind::Rf, &refs).unwrap();
+        let one = m.predict_query_resources(refs[0]).unwrap();
+        assert!(one.is_finite(), "{one}");
+        // Memory head is the scalar prediction.
+        assert_eq!(one.memory_mb.to_bits(), m.predict_query(refs[0]).unwrap().to_bits());
+        let w = m.predict_resources(&refs[..10]).unwrap();
+        let parts: ResourceVector =
+            refs[..10].iter().map(|r| m.predict_query_resources(r).unwrap()).sum();
+        assert!(w.abs_diff(parts).as_array().iter().all(|d| *d < 1e-9));
+        assert!(w.cpu_ms > 0.0 && w.io_pages > 0.0, "{w}");
+        // In-sample CPU accuracy is meaningful, not noise.
+        let y: Vec<f64> = refs.iter().map(|r| r.resources.cpu_ms).collect();
+        let p: Vec<f64> =
+            refs.iter().map(|r| m.predict_query_resources(r).unwrap().cpu_ms).collect();
+        let r2 = wmp_mlkit::metrics::r2(&y, &p).unwrap();
+        assert!(r2 > 0.7, "in-sample cpu r2 = {r2}");
+    }
+
+    #[test]
+    fn dbms_baseline_sums_resource_estimates() {
+        let log = log();
+        let refs: Vec<&QueryRecord> = log.records.iter().collect();
+        let expected: ResourceVector = refs[..10].iter().map(|r| r.dbms_estimate).sum();
+        let got = SingleWmpDbms.predict_resources(&refs[..10]);
+        assert!(got.abs_diff(expected).as_array().iter().all(|d| *d < 1e-9));
+        assert!((got.memory_mb - SingleWmpDbms.predict_workload(&refs[..10])).abs() < 1e-9);
     }
 
     #[test]
@@ -149,7 +212,7 @@ mod tests {
         let log = log();
         let refs: Vec<&QueryRecord> = log.records.iter().collect();
         let dbms = SingleWmpDbms;
-        let expected: f64 = refs[..10].iter().map(|r| r.dbms_estimate_mb).sum();
+        let expected: f64 = refs[..10].iter().map(|r| r.dbms_estimate_mb()).sum();
         assert!((dbms.predict_workload(&refs[..10]) - expected).abs() < 1e-9);
         let ws = batch_workloads(&refs, 10, 0, LabelMode::Sum);
         let preds = dbms.predict_workloads(&refs, &ws);

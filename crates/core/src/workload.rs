@@ -1,41 +1,54 @@
 //! Workload batching (paper step TR4): partition queries into fixed-size
-//! workloads of `s` queries and compute each workload's memory label `y`.
+//! workloads of `s` queries and compute each workload's resource label `y` —
+//! a [`ResourceVector`] aggregating memory, CPU time, and IO pages.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use wmp_plan::ResourceVector;
 use wmp_workloads::QueryRecord;
 
-/// How a workload's label aggregates its queries' peak memories.
+/// How a workload's label aggregates its queries' per-resource demands.
 ///
 /// The paper's prose and worked example (Fig. 3) *sum* per-query peaks; its
 /// eq. (1) typesets a `max`. We implement the prose semantics as the default
-/// and keep `Max` as an ablation (`ablation_label_mode`).
+/// and keep `Max` as an ablation (`ablation_label_mode`). Aggregation is
+/// componentwise: every resource axis (memory / CPU / IO) is summed or
+/// maxed independently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LabelMode {
-    /// `y = Σ mᵢ` — collective demand if the batch runs concurrently.
+    /// `y = Σ mᵢ` per resource — collective demand if the batch runs
+    /// concurrently.
     Sum,
-    /// `y = max mᵢ` — the single heaviest query.
+    /// `y = max mᵢ` per resource — the single heaviest query on each axis.
     Max,
 }
 
-/// A workload: indices into a record slice plus the memory label.
+/// A workload: indices into a record slice plus the resource label.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Indices of the member queries (into the record slice used to batch).
     pub query_indices: Vec<usize>,
-    /// Aggregated actual memory (MB).
-    pub y: f64,
+    /// Aggregated actual resource demand (memory MB / CPU ms / IO pages).
+    pub y: ResourceVector,
 }
 
-/// Computes a workload label from member records.
-pub fn label_of(records: &[&QueryRecord], mode: LabelMode) -> f64 {
+impl Workload {
+    /// The memory component of the label — the paper's original scalar `y`.
+    pub fn y_mb(&self) -> f64 {
+        self.y.memory_mb
+    }
+}
+
+/// Computes a workload label from member records, componentwise per resource.
+pub fn label_of(records: &[&QueryRecord], mode: LabelMode) -> ResourceVector {
     match mode {
-        LabelMode::Sum => records.iter().map(|r| r.true_memory_mb).sum(),
-        LabelMode::Max => {
-            records.iter().map(|r| r.true_memory_mb).fold(f64::NEG_INFINITY, f64::max)
-        }
+        LabelMode::Sum => records.iter().map(|r| r.resources).sum(),
+        LabelMode::Max => records
+            .iter()
+            .map(|r| r.resources)
+            .fold(ResourceVector::ZERO, |acc, r| acc.component_max(r)),
     }
 }
 
@@ -96,15 +109,19 @@ pub fn batch_workloads_variable(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wmp_plan::features::N_PLAN_FEATURES;
     use wmp_plan::query::{QuerySpec, TableRef};
 
     fn record(id: u64, mem: f64) -> QueryRecord {
+        // Each resource axis scales differently so componentwise aggregation
+        // bugs (e.g. summing memory into cpu) are caught.
+        let resources = ResourceVector::new(mem, mem * 3.0, mem * 10.0);
         QueryRecord {
             id,
             spec: QuerySpec { id, tables: vec![TableRef::plain("t")], ..QuerySpec::default() },
-            features: vec![0.0; 4],
-            true_memory_mb: mem,
-            dbms_estimate_mb: mem * 1.1,
+            features: vec![0.0; N_PLAN_FEATURES],
+            resources,
+            dbms_estimate: resources.scale(1.1),
             template_hint: 0,
         }
     }
@@ -128,20 +145,26 @@ mod tests {
     }
 
     #[test]
-    fn sum_label_adds_member_memories() {
+    fn sum_label_adds_member_resources_componentwise() {
         let owned = records(4);
         let refs: Vec<&QueryRecord> = owned.iter().collect();
         let ws = batch_workloads(&refs, 4, 1, LabelMode::Sum);
         assert_eq!(ws.len(), 1);
-        assert!((ws[0].y - (1.0 + 2.0 + 3.0 + 4.0)).abs() < 1e-12);
+        let total = 1.0 + 2.0 + 3.0 + 4.0;
+        assert!((ws[0].y.memory_mb - total).abs() < 1e-12);
+        assert!((ws[0].y.cpu_ms - total * 3.0).abs() < 1e-12);
+        assert!((ws[0].y.io_pages - total * 10.0).abs() < 1e-12);
+        assert!((ws[0].y_mb() - total).abs() < 1e-12);
     }
 
     #[test]
-    fn max_label_takes_heaviest_member() {
+    fn max_label_takes_heaviest_member_per_resource() {
         let owned = records(4);
         let refs: Vec<&QueryRecord> = owned.iter().collect();
         let ws = batch_workloads(&refs, 4, 1, LabelMode::Max);
-        assert!((ws[0].y - 4.0).abs() < 1e-12);
+        assert!((ws[0].y.memory_mb - 4.0).abs() < 1e-12);
+        assert!((ws[0].y.cpu_ms - 12.0).abs() < 1e-12);
+        assert!((ws[0].y.io_pages - 40.0).abs() < 1e-12);
     }
 
     #[test]
@@ -165,7 +188,7 @@ mod tests {
         let ws = batch_workloads(&refs, 1, 0, LabelMode::Sum);
         assert_eq!(ws.len(), 5);
         for w in &ws {
-            assert!((w.y - refs[w.query_indices[0]].true_memory_mb).abs() < 1e-12);
+            assert_eq!(w.y, refs[w.query_indices[0]].resources);
         }
     }
 
@@ -189,8 +212,8 @@ mod tests {
             for &i in &w.query_indices {
                 assert!(seen.insert(i), "no index may repeat");
             }
-            let expect: f64 = w.query_indices.iter().map(|&i| refs[i].true_memory_mb).sum();
-            assert!((w.y - expect).abs() < 1e-12);
+            let expect: ResourceVector = w.query_indices.iter().map(|&i| refs[i].resources).sum();
+            assert!(w.y.abs_diff(expect).as_array().iter().all(|d| *d < 1e-12));
         }
         // Sizes actually vary.
         let sizes: std::collections::HashSet<usize> =

@@ -29,6 +29,7 @@ pub mod knn;
 pub mod linalg;
 pub mod metrics;
 pub mod mlp;
+pub mod multi;
 pub mod pca;
 pub mod ridge;
 pub mod scaler;
@@ -38,4 +39,5 @@ pub mod tree;
 
 pub use error::{MlError, MlResult};
 pub use linalg::Matrix;
+pub use multi::MultiHead;
 pub use traits::{Footprint, Regressor};

@@ -2,8 +2,9 @@
 //! [`Footprint`] (structural model-size accounting used by the paper's
 //! "model size" comparison, Fig. 8).
 
-use crate::error::MlResult;
+use crate::error::{dim_mismatch, MlResult};
 use crate::linalg::Matrix;
+use crate::multi::MultiHead;
 
 /// Structural size accounting for a trained model.
 ///
@@ -62,6 +63,58 @@ pub trait Regressor: Footprint + Send + Sync {
     /// Same conditions as [`Regressor::predict_row`].
     fn predict(&self, x: &Matrix) -> MlResult<Vec<f64>> {
         x.row_iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Number of target outputs this regressor predicts per row.
+    ///
+    /// Scalar models report `1` (the default). Multi-output models — native
+    /// ([`crate::ridge::Ridge`] after [`Regressor::fit_multi`]) or composite
+    /// ([`crate::multi::MultiHead`]) — report the number of fitted heads.
+    fn n_outputs(&self) -> usize {
+        1
+    }
+
+    /// Fits the model on `x` against several target columns at once.
+    ///
+    /// `targets[t]` is the full column for output `t`; every column must have
+    /// one entry per row of `x`. The default implementation only accepts a
+    /// single column (delegating to [`Regressor::fit`]); models with genuine
+    /// multi-output support override it.
+    ///
+    /// # Errors
+    /// Returns a dimension error when the implementation cannot represent
+    /// `targets.len()` outputs, plus any error `fit` itself can produce.
+    fn fit_multi(&mut self, x: &Matrix, targets: &[Vec<f64>]) -> MlResult<()> {
+        match targets {
+            [y] => self.fit(x, y),
+            _ => Err(dim_mismatch(
+                format!(
+                    "1 target column (regressor '{}' is scalar; wrap it in MultiHead for \
+                     multi-output training)",
+                    self.name()
+                ),
+                format!("{} target columns", targets.len()),
+            )),
+        }
+    }
+
+    /// Predicts all [`Regressor::n_outputs`] targets for one feature row.
+    ///
+    /// The first element always corresponds to the target passed to scalar
+    /// [`Regressor::fit`], so `predict_row_multi(r)?[0] == predict_row(r)?`
+    /// for every model in this crate.
+    ///
+    /// # Errors
+    /// Same conditions as [`Regressor::predict_row`].
+    fn predict_row_multi(&self, row: &[f64]) -> MlResult<Vec<f64>> {
+        Ok(vec![self.predict_row(row)?])
+    }
+
+    /// Downcast hook: returns the composite per-target wrapper if this
+    /// regressor is a [`MultiHead`], letting persistence layers tag composite
+    /// payloads without `Any`-based downcasting.
+    fn as_multi_head(&self) -> Option<&MultiHead> {
+        None
     }
 
     /// Short stable name used in reports ("ridge", "xgb", ...).

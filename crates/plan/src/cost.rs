@@ -1,0 +1,276 @@
+//! Per-query CPU and I/O cost model over physical plans — the source of the
+//! non-memory components of a [`crate::resource::ResourceVector`].
+//!
+//! The memory component of a query's resource label comes from the working
+//! memory simulator (the sim crate); CPU and I/O come from this textbook
+//! cost model driven by the same per-operator cardinalities. Both an
+//! *estimated* variant (optimizer `est_rows`, what a DBMS-style heuristic
+//! would reserve) and a *true* variant (`true_rows`, the hidden ground
+//! truth that labels training data) are exposed.
+
+use crate::plan::{OpKind, Operator, PlanNode};
+use crate::resource::ResourceVector;
+
+/// Which cardinality annotation drives the cost walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardSource {
+    /// Optimizer-estimated cardinalities (visible at planning time).
+    Estimated,
+    /// Actual cardinalities against the synthetic data (hidden truth).
+    True,
+}
+
+/// CPU and I/O cost of one plan, in the label units used throughout the
+/// pipeline (milliseconds, pages).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanCost {
+    /// CPU time in milliseconds.
+    pub cpu_ms: f64,
+    /// Logical I/O volume in pages.
+    pub io_pages: f64,
+}
+
+/// Textbook per-operator cost model: CPU charged per tuple processed (with
+/// an `n log n` term for sorts), I/O charged per page produced at leaf
+/// scans plus spill traffic for blocking operators whose working set
+/// exceeds the in-memory budget.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// CPU cost of streaming one tuple through a simple operator, in
+    /// microseconds.
+    pub tuple_us: f64,
+    /// CPU cost of one hash-table insert/probe, in microseconds.
+    pub hash_tuple_us: f64,
+    /// CPU cost per comparison in a sort (multiplied by `n log2 n`), in
+    /// microseconds.
+    pub sort_cmp_us: f64,
+    /// Page size in bytes for I/O accounting.
+    pub page_bytes: f64,
+    /// Working-set budget in megabytes above which blocking operators
+    /// (sort, hash build, hash aggregate) spill to disk.
+    pub spill_budget_mb: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            tuple_us: 0.08,
+            hash_tuple_us: 0.25,
+            sort_cmp_us: 0.02,
+            page_bytes: 8192.0,
+            spill_budget_mb: 64.0,
+        }
+    }
+}
+
+impl CostModel {
+    fn rows(node: &PlanNode, source: CardSource) -> f64 {
+        match source {
+            CardSource::Estimated => node.est_rows,
+            CardSource::True => node.true_rows,
+        }
+        .max(0.0)
+    }
+
+    fn bytes(node: &PlanNode, source: CardSource) -> f64 {
+        Self::rows(node, source) * f64::from(node.row_width)
+    }
+
+    fn pages(&self, bytes: f64) -> f64 {
+        (bytes / self.page_bytes).ceil()
+    }
+
+    /// Spill pages for a blocking operator buffering `bytes`: zero while it
+    /// fits the budget, write-then-read traffic once it does not.
+    fn spill_pages(&self, bytes: f64) -> f64 {
+        let budget = self.spill_budget_mb * 1024.0 * 1024.0;
+        if bytes > budget {
+            2.0 * self.pages(bytes - budget)
+        } else {
+            0.0
+        }
+    }
+
+    /// Costs one plan under the chosen cardinality source.
+    pub fn cost(&self, plan: &PlanNode, source: CardSource) -> PlanCost {
+        let mut cpu_us = 0.0;
+        let mut io_pages = 0.0;
+        for node in plan.iter() {
+            let out_rows = Self::rows(node, source);
+            let input_rows: f64 = node.children.iter().map(|c| Self::rows(c, source)).sum();
+            match &node.op {
+                Operator::TableScan { .. } => {
+                    cpu_us += out_rows * self.tuple_us;
+                    io_pages += self.pages(Self::bytes(node, source));
+                }
+                Operator::IndexScan { .. } => {
+                    // Random access: cheaper volume, pricier per row.
+                    cpu_us += out_rows * 2.0 * self.tuple_us;
+                    io_pages += self.pages(Self::bytes(node, source)) + out_rows.min(64.0);
+                }
+                Operator::HashJoin => {
+                    let build = node.children.get(1).map_or(0.0, |c| Self::rows(c, source));
+                    let build_bytes = node.children.get(1).map_or(0.0, |c| Self::bytes(c, source));
+                    let probe = node.children.first().map_or(0.0, |c| Self::rows(c, source));
+                    cpu_us += (build + probe) * self.hash_tuple_us + out_rows * self.tuple_us;
+                    io_pages += self.spill_pages(build_bytes);
+                }
+                Operator::NestedLoopJoin => {
+                    let outer = node.children.first().map_or(0.0, |c| Self::rows(c, source));
+                    // Index-driven inner lookups: one probe per outer row.
+                    cpu_us += outer * 2.0 * self.tuple_us + out_rows * self.tuple_us;
+                }
+                Operator::MergeJoin => {
+                    cpu_us += (input_rows + out_rows) * self.tuple_us;
+                }
+                Operator::Sort { .. } => {
+                    let n = input_rows.max(1.0);
+                    cpu_us += n * n.log2().max(1.0) * self.sort_cmp_us;
+                    let sort_bytes = node.children.first().map_or(0.0, |c| Self::bytes(c, source));
+                    io_pages += self.spill_pages(sort_bytes);
+                }
+                Operator::HashAggregate { n_aggs, .. } => {
+                    cpu_us += input_rows * (self.hash_tuple_us + *n_aggs as f64 * self.tuple_us);
+                    io_pages += self.spill_pages(Self::bytes(node, source));
+                }
+                Operator::StreamAggregate { n_aggs } => {
+                    cpu_us += input_rows * (1.0 + *n_aggs as f64) * self.tuple_us;
+                }
+                Operator::HashDistinct => {
+                    cpu_us += input_rows * self.hash_tuple_us;
+                    io_pages += self.spill_pages(Self::bytes(node, source));
+                }
+                Operator::Limit { .. } => {
+                    cpu_us += out_rows * 0.1 * self.tuple_us;
+                }
+            }
+        }
+        PlanCost { cpu_ms: cpu_us / 1000.0, io_pages }
+    }
+
+    /// CPU/IO under true cardinalities (ground-truth labels).
+    pub fn true_cost(&self, plan: &PlanNode) -> PlanCost {
+        self.cost(plan, CardSource::True)
+    }
+
+    /// CPU/IO under estimated cardinalities (DBMS-style estimate).
+    pub fn estimated_cost(&self, plan: &PlanNode) -> PlanCost {
+        self.cost(plan, CardSource::Estimated)
+    }
+
+    /// Widens a [`PlanCost`] with a memory component into a full
+    /// [`ResourceVector`].
+    pub fn with_memory(cost: PlanCost, memory_mb: f64) -> ResourceVector {
+        ResourceVector { memory_mb, cpu_ms: cost.cpu_ms, io_pages: cost.io_pages }
+    }
+}
+
+/// Operators that materialize their input (hash build, sort, hash
+/// aggregate/distinct) — the pipeline breakers whose buffered rows drive
+/// both memory footprints and spill I/O.
+pub fn is_pipeline_breaker(kind: OpKind) -> bool {
+    matches!(kind, OpKind::HashJoin | OpKind::Sort | OpKind::HashAggregate | OpKind::HashDistinct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Operator, PlanNode};
+
+    fn scan(rows_est: f64, rows_true: f64, width: u32) -> PlanNode {
+        PlanNode::leaf(
+            Operator::TableScan { table: "t".into(), alias: "t".into() },
+            rows_est,
+            rows_true,
+            width,
+        )
+    }
+
+    fn join_plan(est: f64, truth: f64) -> PlanNode {
+        let a = scan(est, truth, 100);
+        let b = scan(est / 10.0, truth / 10.0, 50);
+        PlanNode {
+            op: Operator::HashJoin,
+            children: vec![a, b],
+            est_rows: est,
+            true_rows: truth,
+            row_width: 150,
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_cardinality() {
+        let m = CostModel::default();
+        let small = m.true_cost(&join_plan(100.0, 100.0));
+        let large = m.true_cost(&join_plan(100.0, 100_000.0));
+        assert!(large.cpu_ms > 10.0 * small.cpu_ms);
+        assert!(large.io_pages > small.io_pages);
+    }
+
+    #[test]
+    fn estimated_and_true_costs_diverge_with_misestimation() {
+        let m = CostModel::default();
+        let plan = join_plan(100.0, 50_000.0);
+        let est = m.estimated_cost(&plan);
+        let truth = m.true_cost(&plan);
+        assert!(truth.cpu_ms > est.cpu_ms, "{truth:?} vs {est:?}");
+    }
+
+    #[test]
+    fn sorts_cost_superlinearly_and_spill_when_large() {
+        let m = CostModel::default();
+        let small_sort = PlanNode::unary(
+            Operator::Sort { keys: vec!["t.x".into()] },
+            scan(1_000.0, 1_000.0, 100),
+            1_000.0,
+            1_000.0,
+            100,
+        );
+        let big_sort = PlanNode::unary(
+            Operator::Sort { keys: vec!["t.x".into()] },
+            scan(2_000_000.0, 2_000_000.0, 100),
+            2_000_000.0,
+            2_000_000.0,
+            100,
+        );
+        let small = m.true_cost(&small_sort);
+        let big = m.true_cost(&big_sort);
+        // 2000x the rows must cost more than 2000x the CPU (n log n).
+        assert!(big.cpu_ms > 2_000.0 * small.cpu_ms);
+        // 2M × 100 B ≈ 190 MB input exceeds the 64 MB budget → spill I/O
+        // beyond the scan's own pages.
+        let scan_only = m.true_cost(&scan(2_000_000.0, 2_000_000.0, 100));
+        assert!(big.io_pages > scan_only.io_pages);
+        assert_eq!(small.io_pages, m.true_cost(&scan(1_000.0, 1_000.0, 100)).io_pages);
+    }
+
+    #[test]
+    fn costs_are_deterministic_and_finite() {
+        let m = CostModel::default();
+        let plan = join_plan(500.0, 700.0);
+        let a = m.true_cost(&plan);
+        let b = m.true_cost(&plan);
+        assert_eq!(a, b);
+        assert!(a.cpu_ms.is_finite() && a.io_pages.is_finite());
+        assert!(a.cpu_ms > 0.0 && a.io_pages > 0.0);
+    }
+
+    #[test]
+    fn pipeline_breakers_are_the_materializing_operators() {
+        use crate::plan::OpKind;
+        assert!(is_pipeline_breaker(OpKind::HashJoin));
+        assert!(is_pipeline_breaker(OpKind::Sort));
+        assert!(is_pipeline_breaker(OpKind::HashAggregate));
+        assert!(is_pipeline_breaker(OpKind::HashDistinct));
+        assert!(!is_pipeline_breaker(OpKind::TableScan));
+        assert!(!is_pipeline_breaker(OpKind::MergeJoin));
+        assert!(!is_pipeline_breaker(OpKind::StreamAggregate));
+        assert!(!is_pipeline_breaker(OpKind::Limit));
+    }
+
+    #[test]
+    fn with_memory_widens_to_a_resource_vector() {
+        let v = CostModel::with_memory(PlanCost { cpu_ms: 2.0, io_pages: 30.0 }, 12.0);
+        assert_eq!(v, ResourceVector::new(12.0, 2.0, 30.0));
+    }
+}

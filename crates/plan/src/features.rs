@@ -1,34 +1,81 @@
 //! Plan featurization (paper §III-B1, Fig. 2): for every operator type, a
 //! `(count, Σ estimated output cardinality)` pair, laid out in the stable
-//! [`ALL_OP_KINDS`] order. The paper borrows this feature set from Ganapathi
-//! et al. (reference 16 of the paper); both the k-means template learner and the SingleWMP per-query
-//! models consume it.
+//! [`ALL_OP_KINDS`] order, followed by [`N_STRUCT_FEATURES`] operator-tree
+//! *structure* features (depth, pipeline-breaker volume, row widths). The
+//! per-operator pairs are the paper's feature set (borrowed from Ganapathi
+//! et al., reference 16); the structural tail generalizes template identity
+//! toward plan shape, in the spirit of the Query Plan Encoders line of
+//! work. Both the k-means template learner and the SingleWMP per-query
+//! models consume the full vector.
 
+use crate::cost::is_pipeline_breaker;
 use crate::plan::{PlanNode, ALL_OP_KINDS};
 
-/// Length of a plan feature vector: two features per operator kind.
-pub const N_PLAN_FEATURES: usize = ALL_OP_KINDS.len() * 2;
+/// Number of operator-tree structure features appended after the
+/// per-operator `(count, card)` pairs: plan depth, node count,
+/// pipeline-breaker count, Σ estimated rows at pipeline breakers,
+/// Σ estimated megabytes buffered at pipeline breakers, and the maximum
+/// row width in the plan.
+pub const N_STRUCT_FEATURES: usize = 6;
 
-/// Extracts the `(count, Σ est. cardinality)` feature vector from a plan.
+/// Length of a plan feature vector: two features per operator kind plus the
+/// structural tail. Every consumer of query features (template learners,
+/// per-query models, synthetic test records) must derive widths from this
+/// constant — training asserts consistency against it.
+pub const N_PLAN_FEATURES: usize = ALL_OP_KINDS.len() * 2 + N_STRUCT_FEATURES;
+
+fn depth_of(node: &PlanNode) -> usize {
+    1 + node.children.iter().map(depth_of).max().unwrap_or(0)
+}
+
+/// Extracts the feature vector from a plan: `(count, Σ est. cardinality)`
+/// per operator kind, then the structural tail described on
+/// [`N_STRUCT_FEATURES`].
 ///
 /// Cardinalities are the *estimated* ones — at inference time true
 /// cardinalities are unknown, so models may only see optimizer output.
 pub fn featurize_plan(plan: &PlanNode) -> Vec<f64> {
     let mut v = vec![0.0; N_PLAN_FEATURES];
+    let base = ALL_OP_KINDS.len() * 2;
+    let mut max_width = 0u32;
     for node in plan.iter() {
         let i = node.op.kind().index();
         v[2 * i] += 1.0;
         v[2 * i + 1] += node.est_rows;
+        v[base + 1] += 1.0; // node count
+        if is_pipeline_breaker(node.op.kind()) {
+            // Pipeline breakers buffer their *input*; charge the rows and
+            // bytes of the materialized side (hash join: the build child).
+            let buffered = match node.op.kind() {
+                crate::plan::OpKind::HashJoin => node.children.get(1),
+                _ => node.children.first(),
+            };
+            let (rows, bytes) = buffered
+                .map(|c| (c.est_rows, c.est_rows * f64::from(c.row_width)))
+                .unwrap_or((node.est_rows, node.est_rows * f64::from(node.row_width)));
+            v[base + 2] += 1.0;
+            v[base + 3] += rows;
+            v[base + 4] += bytes / (1024.0 * 1024.0);
+        }
+        max_width = max_width.max(node.row_width);
     }
+    v[base] = depth_of(plan) as f64;
+    v[base + 5] = f64::from(max_width);
     v
 }
 
-/// Human-readable names for each feature slot (`<OP>_count`, `<OP>_card`).
+/// Human-readable names for each feature slot (`<OP>_count`, `<OP>_card`,
+/// then the structural tail).
 pub fn feature_names() -> Vec<String> {
     let mut names = Vec::with_capacity(N_PLAN_FEATURES);
     for k in ALL_OP_KINDS {
         names.push(format!("{}_count", k.name()));
         names.push(format!("{}_card", k.name()));
+    }
+    for s in
+        ["plan_depth", "plan_nodes", "breaker_count", "breaker_card", "breaker_mb", "max_row_width"]
+    {
+        names.push(s.to_string());
     }
     names
 }
@@ -77,6 +124,38 @@ mod tests {
         let mj = OpKind::MergeJoin.index();
         assert_eq!(v[2 * mj], 0.0);
         assert_eq!(v[2 * mj + 1], 0.0);
+    }
+
+    #[test]
+    fn structural_tail_encodes_depth_breakers_and_widths() {
+        let v = featurize_plan(&sample_plan());
+        let base = ALL_OP_KINDS.len() * 2;
+        assert_eq!(v[base], 3.0, "sort -> join -> scans is depth 3");
+        assert_eq!(v[base + 1], 4.0, "four plan nodes");
+        assert_eq!(v[base + 2], 2.0, "hash join and sort are pipeline breakers");
+        // Breaker cardinality: hash join buffers its build child (scan b,
+        // 200 est rows); sort buffers its input (the join, 500 est rows).
+        assert_eq!(v[base + 3], 700.0);
+        let expected_mb = (200.0 * 80.0 + 500.0 * 180.0) / (1024.0 * 1024.0);
+        assert!((v[base + 4] - expected_mb).abs() < 1e-12);
+        assert_eq!(v[base + 5], 180.0, "widest row in the plan");
+    }
+
+    #[test]
+    fn single_leaf_plan_has_depth_one_and_no_breakers() {
+        let scan = PlanNode::leaf(
+            Operator::TableScan { table: "t".into(), alias: "t".into() },
+            10.0,
+            12.0,
+            40,
+        );
+        let v = featurize_plan(&scan);
+        let base = ALL_OP_KINDS.len() * 2;
+        assert_eq!(v[base], 1.0);
+        assert_eq!(v[base + 1], 1.0);
+        assert_eq!(v[base + 2], 0.0);
+        assert_eq!(v[base + 3], 0.0);
+        assert_eq!(v[base + 5], 40.0);
     }
 
     #[test]

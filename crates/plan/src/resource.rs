@@ -1,0 +1,242 @@
+//! Multi-resource targets: the [`ResourceVector`] label/prediction triple
+//! (working memory, CPU time, I/O pages) threaded through the whole pipeline.
+//!
+//! The paper predicts a single number — workload memory — but scheduling
+//! decisions (placement, deferral, admission) need joint memory/CPU/IO
+//! costs. Every layer that used to carry a scalar `true_memory_mb` now
+//! carries one of these vectors; scalar call sites project the memory
+//! component via [`ResourceVector::memory_mb`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Number of resource dimensions in a [`ResourceVector`].
+pub const N_RESOURCES: usize = 3;
+
+/// Identifies one dimension of a [`ResourceVector`] — used by evaluation
+/// reports, observability gauges, and admission budgets to iterate the
+/// resource dimensions generically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Peak working memory, in megabytes.
+    Memory,
+    /// CPU time, in milliseconds.
+    Cpu,
+    /// Logical I/O volume, in pages.
+    Io,
+}
+
+impl ResourceKind {
+    /// Every resource dimension, in the stable [`ResourceVector`] layout
+    /// order (memory, CPU, I/O).
+    pub const ALL: [ResourceKind; N_RESOURCES] =
+        [ResourceKind::Memory, ResourceKind::Cpu, ResourceKind::Io];
+
+    /// Position in [`ResourceKind::ALL`] and in [`ResourceVector::as_array`].
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Memory => 0,
+            ResourceKind::Cpu => 1,
+            ResourceKind::Io => 2,
+        }
+    }
+
+    /// Short stable name used in reports and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Memory => "memory",
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Io => "io",
+        }
+    }
+
+    /// Unit suffix for display ("MB", "ms", "pages").
+    pub fn unit(self) -> &'static str {
+        match self {
+            ResourceKind::Memory => "MB",
+            ResourceKind::Cpu => "ms",
+            ResourceKind::Io => "pages",
+        }
+    }
+}
+
+/// A joint (memory, CPU, I/O) resource amount: the multi-output target the
+/// regression pipeline learns and the prediction the serving/scheduling
+/// layers consume.
+///
+/// The struct is plain data (`Copy`), additive, and component-wise
+/// comparable; aggregation over a workload is either a component-wise sum
+/// (total demand) or a component-wise max (peak demand) — see
+/// `LabelMode` in the core crate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceVector {
+    /// Peak working memory in megabytes.
+    pub memory_mb: f64,
+    /// CPU time in milliseconds.
+    pub cpu_ms: f64,
+    /// Logical I/O volume in pages.
+    pub io_pages: f64,
+}
+
+impl ResourceVector {
+    /// The all-zero vector (additive identity).
+    pub const ZERO: ResourceVector = ResourceVector { memory_mb: 0.0, cpu_ms: 0.0, io_pages: 0.0 };
+
+    /// Builds a vector from its three components.
+    pub fn new(memory_mb: f64, cpu_ms: f64, io_pages: f64) -> Self {
+        ResourceVector { memory_mb, cpu_ms, io_pages }
+    }
+
+    /// A memory-only vector (CPU and I/O zero) — the projection used when
+    /// interoperating with pre-multi-resource artifacts and call sites.
+    pub fn memory_only(memory_mb: f64) -> Self {
+        ResourceVector { memory_mb, cpu_ms: 0.0, io_pages: 0.0 }
+    }
+
+    /// The components as an array in [`ResourceKind::ALL`] order.
+    pub fn as_array(self) -> [f64; N_RESOURCES] {
+        [self.memory_mb, self.cpu_ms, self.io_pages]
+    }
+
+    /// Inverse of [`ResourceVector::as_array`].
+    pub fn from_array(a: [f64; N_RESOURCES]) -> Self {
+        ResourceVector { memory_mb: a[0], cpu_ms: a[1], io_pages: a[2] }
+    }
+
+    /// Builds a vector from a possibly-short slice in [`ResourceKind::ALL`]
+    /// order; missing trailing components are zero. This is how predictions
+    /// from single-output (memory-only) models, e.g. loaded from v1
+    /// artifacts, are widened.
+    pub fn from_partial(values: &[f64]) -> Self {
+        let mut a = [0.0; N_RESOURCES];
+        for (slot, v) in a.iter_mut().zip(values) {
+            *slot = *v;
+        }
+        ResourceVector::from_array(a)
+    }
+
+    /// The component for `kind`.
+    pub fn get(self, kind: ResourceKind) -> f64 {
+        self.as_array()[kind.index()]
+    }
+
+    /// Component-wise maximum (peak aggregation).
+    pub fn component_max(self, other: Self) -> Self {
+        ResourceVector {
+            memory_mb: self.memory_mb.max(other.memory_mb),
+            cpu_ms: self.cpu_ms.max(other.cpu_ms),
+            io_pages: self.io_pages.max(other.io_pages),
+        }
+    }
+
+    /// Component-wise absolute difference (per-resource error).
+    pub fn abs_diff(self, other: Self) -> Self {
+        ResourceVector {
+            memory_mb: (self.memory_mb - other.memory_mb).abs(),
+            cpu_ms: (self.cpu_ms - other.cpu_ms).abs(),
+            io_pages: (self.io_pages - other.io_pages).abs(),
+        }
+    }
+
+    /// All components scaled by `factor`.
+    pub fn scale(self, factor: f64) -> Self {
+        ResourceVector {
+            memory_mb: self.memory_mb * factor,
+            cpu_ms: self.cpu_ms * factor,
+            io_pages: self.io_pages * factor,
+        }
+    }
+
+    /// `true` iff every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.as_array().iter().all(|v| v.is_finite())
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, rhs: Self) -> Self {
+        ResourceVector {
+            memory_mb: self.memory_mb + rhs.memory_mb,
+            cpu_ms: self.cpu_ms + rhs.cpu_ms,
+            io_pages: self.io_pages + rhs.io_pages,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ResourceVector {
+    fn sum<I: Iterator<Item = ResourceVector>>(iter: I) -> Self {
+        iter.fold(ResourceVector::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} MB / {:.2} ms / {:.0} pages", self.memory_mb, self.cpu_ms, self.io_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_index_into_the_array_layout() {
+        let v = ResourceVector::new(1.0, 2.0, 3.0);
+        for kind in ResourceKind::ALL {
+            assert_eq!(v.get(kind), v.as_array()[kind.index()]);
+        }
+        assert_eq!(v.get(ResourceKind::Memory), 1.0);
+        assert_eq!(v.get(ResourceKind::Cpu), 2.0);
+        assert_eq!(v.get(ResourceKind::Io), 3.0);
+    }
+
+    #[test]
+    fn array_round_trip_and_partial_widening() {
+        let v = ResourceVector::new(4.0, 5.0, 6.0);
+        assert_eq!(ResourceVector::from_array(v.as_array()), v);
+        assert_eq!(ResourceVector::from_partial(&[7.0]), ResourceVector::memory_only(7.0));
+        assert_eq!(ResourceVector::from_partial(&[]), ResourceVector::ZERO);
+        assert_eq!(
+            ResourceVector::from_partial(&[1.0, 2.0, 3.0, 99.0]),
+            ResourceVector::new(1.0, 2.0, 3.0),
+            "extra components beyond the known three are ignored"
+        );
+    }
+
+    #[test]
+    fn sum_max_and_scale_are_component_wise() {
+        let a = ResourceVector::new(1.0, 20.0, 3.0);
+        let b = ResourceVector::new(2.0, 10.0, 30.0);
+        assert_eq!(a + b, ResourceVector::new(3.0, 30.0, 33.0));
+        assert_eq!(a.component_max(b), ResourceVector::new(2.0, 20.0, 30.0));
+        assert_eq!(a.scale(2.0), ResourceVector::new(2.0, 40.0, 6.0));
+        let total: ResourceVector = [a, b].into_iter().sum();
+        assert_eq!(total, a + b);
+        let mut acc = ResourceVector::ZERO;
+        acc += a;
+        assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn abs_diff_and_finiteness() {
+        let a = ResourceVector::new(1.0, 5.0, 10.0);
+        let b = ResourceVector::new(3.0, 2.0, 10.0);
+        assert_eq!(a.abs_diff(b), ResourceVector::new(2.0, 3.0, 0.0));
+        assert!(a.is_finite());
+        assert!(!ResourceVector::new(f64::NAN, 0.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_names_all_units() {
+        let text = ResourceVector::new(1.5, 2.25, 30.0).to_string();
+        assert!(text.contains("MB") && text.contains("ms") && text.contains("pages"), "{text}");
+    }
+}

@@ -334,7 +334,7 @@ impl Engine {
         let t0 = Instant::now();
         let snapshot = self.handle.snapshot();
         let refs: Vec<&QueryRecord> = window.records.iter().collect();
-        let result = snapshot.predict_workload(&refs);
+        let result = snapshot.predict_resources(&refs);
         let elapsed = t0.elapsed();
         self.stats.latency.record_duration(elapsed);
         self.stats.windows.fetch_add(1, Ordering::Relaxed);
@@ -350,14 +350,14 @@ impl Engine {
         // window left `pending` (the caller took it under the lock) before
         // these increments become visible.
         let resolution = match result {
-            Ok(predicted_mb) => {
+            Ok(predicted) => {
                 self.stats.served.fetch_add(n, Ordering::Release);
                 if let Some(obs) = &self.obs {
                     obs.served.add(n);
                 }
                 Ok(WorkloadDecision {
                     window_id,
-                    predicted_mb,
+                    predicted,
                     window_len: window.records.len(),
                     model_version: snapshot.version(),
                 })

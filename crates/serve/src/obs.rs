@@ -12,9 +12,11 @@
 //! - **Prediction quality** — [`Engine::observe`](crate::Engine::observe)d
 //!   queries are grouped into evaluation batches of
 //!   [`ObsConfig::quality_batch`]; each batch is re-predicted through the
-//!   current model and compared against the sum of measured true memory,
-//!   feeding a rolling [`wmp_obs::QualityMonitor`] published as
-//!   `wmp_prediction_mae_mb` and `wmp_prediction_within_one_bucket_ratio`.
+//!   current model and compared against the summed measured resources,
+//!   feeding one rolling [`wmp_obs::QualityMonitor`] per resource axis,
+//!   published as `wmp_prediction_mae_mb` / `wmp_prediction_mae_cpu_ms` /
+//!   `wmp_prediction_mae_io_pages` plus
+//!   `wmp_prediction_within_one_bucket_ratio` (memory axis).
 //! - **Template drift** — when [`ObsConfig::drift_reference`] supplies the
 //!   training-time template distribution (see
 //!   [`learnedwmp_core::LearnedWmp::template_distribution`]), each observed
@@ -43,6 +45,10 @@ pub struct ObsConfig {
     pub quality_capacity: usize,
     /// Memory-bin width (MB) for the within-one-bucket accuracy.
     pub quality_bucket_mb: f64,
+    /// CPU-bin width (ms) for the per-resource within-one-bucket accuracy.
+    pub quality_bucket_cpu_ms: f64,
+    /// IO-bin width (pages) for the per-resource within-one-bucket accuracy.
+    pub quality_bucket_io_pages: f64,
     /// Training-time template distribution for drift scoring; `None`
     /// disables the drift monitor (the gauge is never published).
     pub drift_reference: Option<Vec<f64>>,
@@ -57,6 +63,8 @@ impl Default for ObsConfig {
             quality_batch: 10,
             quality_capacity: 256,
             quality_bucket_mb: 100.0,
+            quality_bucket_cpu_ms: 100.0,
+            quality_bucket_io_pages: 10_000.0,
             drift_reference: None,
             drift_capacity: 512,
         }
@@ -106,9 +114,13 @@ pub(crate) struct EngineObs {
     pub(crate) model_version: Arc<Gauge>,
     pub(crate) model_age_seconds: Arc<Gauge>,
     pub(crate) mae_mb: Arc<Gauge>,
+    pub(crate) mae_cpu_ms: Arc<Gauge>,
+    pub(crate) mae_io_pages: Arc<Gauge>,
     pub(crate) within_one_bucket: Arc<Gauge>,
     pub(crate) drift_score: Arc<Gauge>,
     quality: QualityMonitor,
+    quality_cpu: QualityMonitor,
+    quality_io: QualityMonitor,
     quality_batch: usize,
     eval_buffer: Mutex<Vec<QueryRecord>>,
     drift: Option<DriftMonitor>,
@@ -190,6 +202,16 @@ impl EngineObs {
                 "Rolling mean absolute prediction error (MB) over recent evaluation batches",
                 &[],
             ),
+            mae_cpu_ms: r.gauge(
+                "wmp_prediction_mae_cpu_ms",
+                "Rolling mean absolute CPU prediction error (ms) over recent evaluation batches",
+                &[],
+            ),
+            mae_io_pages: r.gauge(
+                "wmp_prediction_mae_io_pages",
+                "Rolling mean absolute IO prediction error (pages) over recent evaluation batches",
+                &[],
+            ),
             within_one_bucket: r.gauge(
                 "wmp_prediction_within_one_bucket_ratio",
                 "Rolling fraction of evaluation batches predicted within one memory bucket",
@@ -201,6 +223,11 @@ impl EngineObs {
                 &[],
             ),
             quality: QualityMonitor::new(config.quality_capacity, config.quality_bucket_mb),
+            quality_cpu: QualityMonitor::new(config.quality_capacity, config.quality_bucket_cpu_ms),
+            quality_io: QualityMonitor::new(
+                config.quality_capacity,
+                config.quality_bucket_io_pages,
+            ),
             quality_batch: config.quality_batch.max(1),
             eval_buffer: Mutex::new(Vec::new()),
             drift: config
@@ -236,12 +263,20 @@ impl EngineObs {
         };
         if let Some(batch) = batch {
             let refs: Vec<&QueryRecord> = batch.iter().collect();
-            if let Ok(predicted) = model.predict_workload(&refs) {
-                let actual: f64 = batch.iter().map(|r| r.true_memory_mb).sum();
-                self.quality.record(predicted, actual);
+            if let Ok(predicted) = model.predict_resources(&refs) {
+                let actual: wmp_plan::ResourceVector = batch.iter().map(|r| r.resources).sum();
+                self.quality.record(predicted.memory_mb, actual.memory_mb);
+                self.quality_cpu.record(predicted.cpu_ms, actual.cpu_ms);
+                self.quality_io.record(predicted.io_pages, actual.io_pages);
                 self.quality_windows.inc();
                 if let Some(mae) = self.quality.mae() {
                     self.mae_mb.set(mae);
+                }
+                if let Some(mae) = self.quality_cpu.mae() {
+                    self.mae_cpu_ms.set(mae);
+                }
+                if let Some(mae) = self.quality_io.mae() {
+                    self.mae_io_pages.set(mae);
                 }
                 if let Some(ratio) = self.quality.within_one_bucket() {
                     self.within_one_bucket.set(ratio);

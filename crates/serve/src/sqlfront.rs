@@ -119,8 +119,8 @@ mod tests {
             .expect("valid SQL");
         assert_eq!(r.id, 0);
         assert_eq!(r.template_hint, NO_TEMPLATE_HINT);
-        assert!(r.true_memory_mb > 0.0);
-        assert!(r.dbms_estimate_mb > 0.0);
+        assert!(r.true_memory_mb() > 0.0);
+        assert!(r.dbms_estimate_mb() > 0.0);
         assert!(!r.features.is_empty());
         let r2 = front.record("SELECT l.* FROM lineitem l WHERE l.l_quantity > 10").unwrap();
         assert_eq!(r2.id, 1, "ids are sequential");

@@ -6,6 +6,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use wmp_mlkit::{MlError, MlResult};
+use wmp_plan::ResourceVector;
 
 /// The serving verdict for one workload window, delivered to every member
 /// query's ticket.
@@ -13,14 +14,25 @@ use wmp_mlkit::{MlError, MlResult};
 pub struct WorkloadDecision {
     /// Sequence number of the window this query was batched into.
     pub window_id: u64,
-    /// Predicted collective working memory of the window (MB).
-    pub predicted_mb: f64,
+    /// Predicted collective resource demand of the window (memory MB /
+    /// CPU ms / IO pages). Models persisted before multi-resource targets
+    /// report zero on the CPU and IO axes.
+    pub predicted: ResourceVector,
     /// Number of queries in the window.
     pub window_len: usize,
     /// Version of the model snapshot that scored the window (see
     /// [`learnedwmp_core::handle::ModelSnapshot::version`]) — every member
     /// of one window is scored by the same snapshot.
     pub model_version: u64,
+}
+
+impl WorkloadDecision {
+    /// Predicted collective working memory of the window (MB) — the memory
+    /// projection of [`WorkloadDecision::predicted`], bit-identical to the
+    /// scalar prediction path.
+    pub fn predicted_mb(&self) -> f64 {
+        self.predicted.memory_mb
+    }
 }
 
 pub(crate) struct TicketState {
@@ -121,7 +133,12 @@ mod tests {
     use super::*;
 
     fn decision() -> WorkloadDecision {
-        WorkloadDecision { window_id: 3, predicted_mb: 123.0, window_len: 10, model_version: 1 }
+        WorkloadDecision {
+            window_id: 3,
+            predicted: ResourceVector::new(123.0, 4.5, 900.0),
+            window_len: 10,
+            model_version: 1,
+        }
     }
 
     #[test]

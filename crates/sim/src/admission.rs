@@ -6,18 +6,29 @@
 //! memory until it completes, so optimistic predictions push the system into
 //! overflow (spills, thrashing) while pessimistic ones strand headroom.
 //!
+//! With multi-resource predictions the gate generalizes to **joint
+//! budgets**: [`AdmissionController::with_cpu_budget`] adds a concurrent
+//! CPU-work ceiling, and [`AdmissionController::offer_resources`] admits
+//! only when *every* gated resource fits — a workload that passes on memory
+//! can still be deferred because the box is CPU-saturated (the WiSeDB-style
+//! scheduling regime).
+//!
 //! The controller is predictor-agnostic — it consumes plain
-//! `(predicted_mb, actual_mb)` pairs — so the serving engine (`wmp_serve`),
-//! the examples, and tests can drive the same scenario with LearnedWMP, the
+//! `(predicted, actual)` pairs — so the serving engine (`wmp_serve`), the
+//! examples, and tests can drive the same scenario with LearnedWMP, the
 //! DBMS heuristic, or an oracle, and compare [`AdmissionStats`].
+
+use wmp_plan::{ResourceKind, ResourceVector, N_RESOURCES};
 
 /// The controller's verdict for one offered workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admission {
-    /// Admitted: the batch now executes and occupies memory until
+    /// Admitted: the batch now executes and occupies its resources until
     /// [`AdmissionController::complete`] is called with this id.
     Admitted(u64),
-    /// Rejected: predicted demand exceeded the available headroom.
+    /// Rejected: predicted demand exceeded the available headroom on at
+    /// least one gated resource (see
+    /// [`AdmissionController::last_rejected_on`]).
     Rejected,
 }
 
@@ -35,14 +46,22 @@ pub struct AdmissionStats {
     pub admitted: usize,
     /// Batches rejected.
     pub rejected: usize,
+    /// Rejections per resource dimension (in [`ResourceKind::ALL`] order):
+    /// how often each gated resource was the *first* to run out. A memory
+    /// rejection and a CPU rejection call for different remedies (more RAM
+    /// vs. more cores / deferral), so the split is tracked.
+    pub rejected_on: [usize; N_RESOURCES],
     /// Rejections that were wasteful: the batch's *actual* demand would have
     /// fit in the actual headroom at decision time (stranded capacity).
     pub rejected_would_fit: usize,
-    /// Decisions after which the actual in-flight memory exceeded the
-    /// budget — the failure mode admission control exists to prevent.
+    /// Decisions after which the actual in-flight demand exceeded the
+    /// budget on some gated resource — the failure mode admission control
+    /// exists to prevent.
     pub overflow_events: usize,
     /// Worst actual in-flight memory observed (MB).
     pub peak_actual_mb: f64,
+    /// Worst actual in-flight demand observed, per resource.
+    pub peak_actual: ResourceVector,
     /// Sum of admitted batches' actual memory (MB) — throughput proxy.
     pub admitted_actual_mb: f64,
 }
@@ -58,8 +77,8 @@ impl AdmissionStats {
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
     id: u64,
-    predicted_mb: f64,
-    actual_mb: f64,
+    predicted: ResourceVector,
+    actual: ResourceVector,
 }
 
 /// A budgeted admission gate over a stream of predicted workloads.
@@ -67,50 +86,117 @@ struct InFlight {
 /// Decisions are made against *predicted* occupancy (the controller only
 /// ever sees predictions at decision time, like a real DBMS); overflow is
 /// detected against *actual* occupancy (what the hardware experiences).
+/// Budget components set to `f64::INFINITY` are not gated — the default
+/// constructor gates memory only, preserving the paper's scenario.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
-    budget_mb: f64,
+    budget: ResourceVector,
     in_flight: Vec<InFlight>,
     next_id: u64,
     stats: AdmissionStats,
+    last_rejected_on: Option<ResourceKind>,
 }
 
 impl AdmissionController {
-    /// Creates a controller with a working-memory budget in MB.
+    /// Creates a memory-only gate with a working-memory budget in MB
+    /// (CPU and I/O are not gated).
     pub fn new(budget_mb: f64) -> Self {
+        Self::with_budget(ResourceVector::new(budget_mb, f64::INFINITY, f64::INFINITY))
+    }
+
+    /// Creates a gate over an arbitrary per-resource budget; components set
+    /// to `f64::INFINITY` are not gated.
+    pub fn with_budget(budget: ResourceVector) -> Self {
         AdmissionController {
-            budget_mb,
+            budget,
             in_flight: Vec::new(),
             next_id: 0,
             stats: AdmissionStats::default(),
+            last_rejected_on: None,
         }
     }
 
-    /// The configured budget (MB).
+    /// Adds a concurrent-CPU-work ceiling (in milliseconds of in-flight CPU
+    /// demand) next to the existing budget components.
+    pub fn with_cpu_budget(mut self, cpu_ms: f64) -> Self {
+        self.budget.cpu_ms = cpu_ms;
+        self
+    }
+
+    /// The configured memory budget (MB).
     pub fn budget_mb(&self) -> f64 {
-        self.budget_mb
+        self.budget.memory_mb
+    }
+
+    /// The full per-resource budget (ungated components are infinite).
+    pub fn budget(&self) -> ResourceVector {
+        self.budget
     }
 
     /// Predicted memory currently admitted (MB) — the gate's world view.
     pub fn predicted_in_flight_mb(&self) -> f64 {
-        self.in_flight.iter().map(|b| b.predicted_mb).sum()
+        self.predicted_in_flight().memory_mb
     }
 
     /// Actual memory currently admitted (MB) — the hardware's view.
     pub fn actual_in_flight_mb(&self) -> f64 {
-        self.in_flight.iter().map(|b| b.actual_mb).sum()
+        self.actual_in_flight().memory_mb
+    }
+
+    /// Predicted per-resource demand currently admitted.
+    pub fn predicted_in_flight(&self) -> ResourceVector {
+        self.in_flight.iter().map(|b| b.predicted).sum()
+    }
+
+    /// Actual per-resource demand currently admitted.
+    pub fn actual_in_flight(&self) -> ResourceVector {
+        self.in_flight.iter().map(|b| b.actual).sum()
+    }
+
+    /// The resource that caused the most recent rejection, if the last
+    /// offer was rejected.
+    pub fn last_rejected_on(&self) -> Option<ResourceKind> {
+        self.last_rejected_on
+    }
+
+    /// First gated resource on which `occupancy + demand` exceeds the
+    /// budget, in [`ResourceKind::ALL`] order.
+    fn first_overrun(
+        &self,
+        occupancy: ResourceVector,
+        demand: ResourceVector,
+    ) -> Option<ResourceKind> {
+        ResourceKind::ALL.into_iter().find(|&kind| {
+            self.budget.get(kind).is_finite()
+                && occupancy.get(kind) + demand.get(kind) > self.budget.get(kind)
+        })
+    }
+
+    /// Offers one memory-only workload (CPU/IO demand zero) — the paper's
+    /// original scenario; see [`AdmissionController::offer_resources`].
+    pub fn offer(&mut self, predicted_mb: f64, actual_mb: f64) -> Admission {
+        self.offer_resources(
+            ResourceVector::memory_only(predicted_mb),
+            ResourceVector::memory_only(actual_mb),
+        )
     }
 
     /// Offers one workload: admit iff its predicted demand fits the
-    /// predicted headroom. `actual_mb` is the ground truth used for
-    /// overflow/waste accounting — a real gate never sees it at decision
-    /// time, and neither does the admit/reject choice here.
-    pub fn offer(&mut self, predicted_mb: f64, actual_mb: f64) -> Admission {
-        let predicted_occupancy = self.predicted_in_flight_mb();
-        let fits = predicted_occupancy + predicted_mb <= self.budget_mb;
-        if !fits {
+    /// predicted headroom on **every** gated resource. `actual` is the
+    /// ground truth used for overflow/waste accounting — a real gate never
+    /// sees it at decision time, and neither does the admit/reject choice
+    /// here.
+    pub fn offer_resources(
+        &mut self,
+        predicted: ResourceVector,
+        actual: ResourceVector,
+    ) -> Admission {
+        let predicted_occupancy = self.predicted_in_flight();
+        if let Some(kind) = self.first_overrun(predicted_occupancy, predicted) {
             self.stats.rejected += 1;
-            let would_fit = self.actual_in_flight_mb() + actual_mb <= self.budget_mb;
+            self.stats.rejected_on[kind.index()] += 1;
+            self.last_rejected_on = Some(kind);
+            let would_fit = self.first_overrun(self.actual_in_flight(), actual).is_none();
             if would_fit {
                 self.stats.rejected_would_fit += 1;
             }
@@ -119,47 +205,51 @@ impl AdmissionController {
                 target: "wmp_sim::admission",
                 "admission_decision",
                 admitted = false,
-                predicted_mb = predicted_mb,
-                predicted_occupancy_mb = predicted_occupancy,
-                budget_mb = self.budget_mb,
+                rejected_on = kind.label(),
+                predicted_mb = predicted.memory_mb,
+                predicted_cpu_ms = predicted.cpu_ms,
+                predicted_occupancy_mb = predicted_occupancy.memory_mb,
+                budget_mb = self.budget.memory_mb,
                 would_fit = would_fit,
             );
             return Admission::Rejected;
         }
+        self.last_rejected_on = None;
         let id = self.next_id;
         self.next_id += 1;
-        self.in_flight.push(InFlight { id, predicted_mb, actual_mb });
+        self.in_flight.push(InFlight { id, predicted, actual });
         self.stats.admitted += 1;
-        self.stats.admitted_actual_mb += actual_mb;
-        let occupied = self.actual_in_flight_mb();
-        if occupied > self.stats.peak_actual_mb {
-            self.stats.peak_actual_mb = occupied;
-        }
+        self.stats.admitted_actual_mb += actual.memory_mb;
+        let occupied = self.actual_in_flight();
+        self.stats.peak_actual = self.stats.peak_actual.component_max(occupied);
+        self.stats.peak_actual_mb = self.stats.peak_actual.memory_mb;
         wmp_obs::event!(
             wmp_obs::Level::Debug,
             target: "wmp_sim::admission",
             "admission_decision",
             admitted = true,
-            predicted_mb = predicted_mb,
-            predicted_occupancy_mb = predicted_occupancy,
-            budget_mb = self.budget_mb,
+            predicted_mb = predicted.memory_mb,
+            predicted_cpu_ms = predicted.cpu_ms,
+            predicted_occupancy_mb = predicted_occupancy.memory_mb,
+            budget_mb = self.budget.memory_mb,
         );
-        if occupied > self.budget_mb {
+        if let Some(kind) = self.first_overrun(occupied, ResourceVector::ZERO) {
             self.stats.overflow_events += 1;
             wmp_obs::event!(
                 wmp_obs::Level::Warn,
                 target: "wmp_sim::admission",
                 "budget_overflow",
-                actual_occupancy_mb = occupied,
-                budget_mb = self.budget_mb,
+                resource = kind.label(),
+                actual_occupancy_mb = occupied.memory_mb,
+                budget_mb = self.budget.memory_mb,
                 in_flight = self.in_flight.len(),
             );
         }
         Admission::Admitted(id)
     }
 
-    /// Completes an admitted batch, releasing its memory. Unknown ids are
-    /// ignored (idempotent completion).
+    /// Completes an admitted batch, releasing its resources. Unknown ids
+    /// are ignored (idempotent completion).
     pub fn complete(&mut self, id: u64) {
         self.in_flight.retain(|b| b.id != id);
     }
@@ -199,6 +289,8 @@ mod tests {
         let stats = gate.stats();
         assert_eq!(stats.admitted, 2);
         assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.rejected_on[ResourceKind::Memory.index()], 1);
+        assert_eq!(gate.last_rejected_on(), Some(ResourceKind::Memory));
         // The rejected batch actually needed only 10 MB next to 80 MB real
         // occupancy — a wasteful rejection caused by over-prediction.
         assert_eq!(stats.rejected_would_fit, 1);
@@ -244,6 +336,37 @@ mod tests {
         assert_eq!(gate.stats().overflow_events, 0);
         assert!(gate.stats().peak_actual_mb <= 50.0);
         assert!(gate.complete_oldest().is_some());
+    }
+
+    #[test]
+    fn cpu_budget_defers_what_memory_alone_would_admit() {
+        // 1000 MB of memory headroom but only 200 ms of concurrent CPU.
+        let mut gate = AdmissionController::new(1000.0).with_cpu_budget(200.0);
+        let hog = ResourceVector::new(50.0, 150.0, 0.0);
+        assert!(gate.offer_resources(hog, hog).admitted());
+        // Memory view: 100 of 1000 MB — plenty. CPU view: 300 of 200 ms.
+        assert_eq!(gate.offer_resources(hog, hog), Admission::Rejected);
+        assert_eq!(gate.last_rejected_on(), Some(ResourceKind::Cpu));
+        assert_eq!(gate.stats().rejected_on[ResourceKind::Cpu.index()], 1);
+        assert_eq!(gate.stats().rejected_on[ResourceKind::Memory.index()], 0);
+        // A memory-only gate with the same memory budget admits it.
+        let mut memory_gate = AdmissionController::new(1000.0);
+        assert!(memory_gate.offer_resources(hog, hog).admitted());
+        assert!(memory_gate.offer_resources(hog, hog).admitted());
+    }
+
+    #[test]
+    fn joint_overflow_is_detected_per_resource() {
+        let mut gate = AdmissionController::new(1000.0).with_cpu_budget(100.0);
+        // Predicted CPU fits; actual CPU blows the ceiling.
+        let predicted = ResourceVector::new(10.0, 40.0, 0.0);
+        let actual = ResourceVector::new(10.0, 90.0, 0.0);
+        assert!(gate.offer_resources(predicted, actual).admitted());
+        assert!(gate.offer_resources(predicted, actual).admitted());
+        let stats = gate.stats();
+        assert_eq!(stats.overflow_events, 1, "180 ms actual CPU > 100 ms budget");
+        assert!((stats.peak_actual.cpu_ms - 180.0).abs() < 1e-9);
+        assert!(stats.peak_actual_mb <= 1000.0);
     }
 
     #[test]

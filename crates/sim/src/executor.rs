@@ -11,6 +11,7 @@
 //! the build and probe phases, and so on.
 
 use wmp_plan::plan::{Operator, PlanNode};
+use wmp_plan::{CostModel, ResourceVector};
 
 use crate::noise::lognormal_factor;
 
@@ -77,6 +78,7 @@ pub struct MemProfile {
 #[derive(Debug, Clone, Default)]
 pub struct ExecutorSimulator {
     config: MemoryConfig,
+    cost: CostModel,
 }
 
 impl ExecutorSimulator {
@@ -87,12 +89,17 @@ impl ExecutorSimulator {
 
     /// Simulator with explicit constants.
     pub fn with_config(config: MemoryConfig) -> Self {
-        ExecutorSimulator { config }
+        ExecutorSimulator { config, cost: CostModel::default() }
     }
 
     /// The configured constants.
     pub fn config(&self) -> &MemoryConfig {
         &self.config
+    }
+
+    /// The CPU/IO cost model used for the non-memory label components.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
     }
 
     /// Peak working memory of a query in megabytes, including per-query noise
@@ -105,6 +112,28 @@ impl ExecutorSimulator {
             1.0
         };
         profile.peak * noise / MB
+    }
+
+    /// Ground-truth resource label of a query: peak working memory from the
+    /// pipeline analysis plus CPU time and I/O volume from the cost model,
+    /// all under **true** cardinalities. Each component draws its own
+    /// deterministic log-normal run noise from the same `(seed, query_id)`
+    /// stream, so the three labels stay correlated through the shared plan
+    /// while still varying independently run-to-run like real measurements.
+    pub fn true_resources(&self, plan: &PlanNode, query_id: u64) -> ResourceVector {
+        let cost = self.cost.true_cost(plan);
+        let noise = |salt: u64| {
+            if self.config.noise_sigma > 0.0 {
+                lognormal_factor(self.config.noise_seed ^ salt, query_id, self.config.noise_sigma)
+            } else {
+                1.0
+            }
+        };
+        ResourceVector {
+            memory_mb: self.peak_memory_mb(plan, query_id),
+            cpu_ms: cost.cpu_ms * noise(0x5EED_0001),
+            io_pages: (cost.io_pages * noise(0x5EED_0002)).round(),
+        }
     }
 
     /// Noise-free pipeline analysis of a plan fragment (uses true rows).
@@ -357,6 +386,34 @@ mod tests {
         assert!((a / base - 1.0).abs() < 0.3, "noise stays within ~30%");
         // Different query ids draw different noise.
         assert_ne!(noisy.peak_memory_mb(&plan, 7), noisy.peak_memory_mb(&plan, 8));
+    }
+
+    #[test]
+    fn true_resources_are_deterministic_and_correlated_with_plan_size() {
+        let s = ExecutorSimulator::new();
+        let small = PlanNode::unary(
+            Operator::Sort { keys: vec!["t.a".into()] },
+            scan(10_000.0, 100),
+            10_000.0,
+            10_000.0,
+            100,
+        );
+        let large = PlanNode::unary(
+            Operator::Sort { keys: vec!["t.a".into()] },
+            scan(5_000_000.0, 100),
+            5_000_000.0,
+            5_000_000.0,
+            100,
+        );
+        let a = s.true_resources(&small, 3);
+        assert_eq!(a, s.true_resources(&small, 3), "deterministic per (plan, id)");
+        let b = s.true_resources(&large, 3);
+        assert!(b.memory_mb > a.memory_mb);
+        assert!(b.cpu_ms > a.cpu_ms);
+        assert!(b.io_pages > a.io_pages);
+        assert!(a.is_finite() && b.is_finite());
+        // Memory matches the scalar path exactly.
+        assert_eq!(a.memory_mb, s.peak_memory_mb(&small, 3));
     }
 
     #[test]

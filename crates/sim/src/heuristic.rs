@@ -17,6 +17,7 @@
 //! plots show for the DBMS baseline.
 
 use wmp_plan::plan::{Operator, PlanNode};
+use wmp_plan::{CostModel, ResourceVector};
 
 use crate::executor::MB;
 
@@ -73,6 +74,14 @@ impl DbmsHeuristicEstimator {
     /// per-operator reservations (no pipeline analysis).
     pub fn estimate_mb(&self, plan: &PlanNode) -> f64 {
         plan.iter().map(|n| self.operator_reservation(n)).sum::<f64>() / MB
+    }
+
+    /// Full DBMS-style resource estimate: the memory reservation plus the
+    /// cost model's CPU/IO projection — all driven by **estimated**
+    /// cardinalities, like a real optimizer's costing.
+    pub fn estimate_resources(&self, plan: &PlanNode) -> ResourceVector {
+        let cost = CostModel::default().estimated_cost(plan);
+        CostModel::with_memory(cost, self.estimate_mb(plan))
     }
 
     /// The reservation one operator's rule produces, in bytes.

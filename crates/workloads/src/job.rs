@@ -577,7 +577,7 @@ mod tests {
         // by base reservations.
         let log = generate(300, 5).unwrap();
         let mean_est: f64 =
-            log.records.iter().map(|r| r.dbms_estimate_mb).sum::<f64>() / log.len() as f64;
+            log.records.iter().map(|r| r.dbms_estimate_mb()).sum::<f64>() / log.len() as f64;
         let mean_true = log.mean_true_memory_mb();
         assert!(
             mean_true > 2.0 * mean_est,
@@ -585,9 +585,9 @@ mod tests {
         );
         // Among the memory-heavy half, under-estimation dominates.
         let mut sorted: Vec<&crate::log::QueryRecord> = log.records.iter().collect();
-        sorted.sort_by(|a, b| b.true_memory_mb.partial_cmp(&a.true_memory_mb).unwrap());
+        sorted.sort_by(|a, b| b.true_memory_mb().partial_cmp(&a.true_memory_mb()).unwrap());
         let heavy = &sorted[..sorted.len() / 2];
-        let under = heavy.iter().filter(|r| r.dbms_estimate_mb < r.true_memory_mb).count();
+        let under = heavy.iter().filter(|r| r.dbms_estimate_mb() < r.true_memory_mb()).count();
         assert!(
             under as f64 > 0.55 * heavy.len() as f64,
             "heavy queries should under-estimate: {under}/{}",

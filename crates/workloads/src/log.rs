@@ -1,6 +1,7 @@
 //! The executed-query log (`Q_train` of the paper): every generated query is
-//! planned, featurized, run through the memory simulator (truth label `m`),
-//! and priced by the DBMS heuristic (the SingleWMP-DBMS baseline estimate).
+//! planned, featurized, run through the executor simulator (the multi-resource
+//! truth label — memory, CPU, I/O), and priced by the DBMS heuristic (the
+//! SingleWMP-DBMS baseline estimate).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -11,7 +12,7 @@ use wmp_plan::features::featurize_plan;
 use wmp_plan::planner::Planner;
 use wmp_plan::query::QuerySpec;
 use wmp_plan::sql::render_sql;
-use wmp_plan::Catalog;
+use wmp_plan::{Catalog, ResourceVector};
 use wmp_sim::{DbmsHeuristicEstimator, ExecutorSimulator};
 
 /// Template hint assigned to text-ingested queries, which have no
@@ -28,19 +29,24 @@ pub struct SqlLineError {
     pub error: wmp_sql::ParseError,
 }
 
-/// One executed query: the paper's `q = (e, p, m)` plus the baseline estimate.
+/// One executed query: the paper's `q = (e, p, m)` generalized to a
+/// multi-resource label, plus the baseline estimate.
 #[derive(Debug, Clone)]
 pub struct QueryRecord {
     /// Stable query id within the log.
     pub id: u64,
     /// Logical spec (renders to `e` via [`render_sql`]).
     pub spec: QuerySpec,
-    /// Plan features: `(count, Σ est. cardinality)` per operator kind.
+    /// Plan features: `(count, Σ est. cardinality)` per operator kind plus
+    /// the structural tail (see `wmp_plan::features`).
     pub features: Vec<f64>,
-    /// Actual peak working memory in MB — the label `m`.
-    pub true_memory_mb: f64,
-    /// The optimizer heuristic's memory estimate in MB (SingleWMP-DBMS).
-    pub dbms_estimate_mb: f64,
+    /// Measured resource consumption — the label. Its memory component is
+    /// the paper's `m`; CPU and I/O come from the cost model under true
+    /// cardinalities.
+    pub resources: ResourceVector,
+    /// The optimizer heuristic's resource estimate (SingleWMP-DBMS), driven
+    /// by estimated cardinalities.
+    pub dbms_estimate: ResourceVector,
     /// The generator's template id (diagnostics only; models never see it).
     pub template_hint: usize,
 }
@@ -49,6 +55,18 @@ impl QueryRecord {
     /// SQL text of the query.
     pub fn sql(&self) -> String {
         render_sql(&self.spec)
+    }
+
+    /// Actual peak working memory in MB — the memory projection of
+    /// [`QueryRecord::resources`] (the paper's scalar label `m`).
+    pub fn true_memory_mb(&self) -> f64 {
+        self.resources.memory_mb
+    }
+
+    /// The optimizer heuristic's memory estimate in MB — the memory
+    /// projection of [`QueryRecord::dbms_estimate`].
+    pub fn dbms_estimate_mb(&self) -> f64 {
+        self.dbms_estimate.memory_mb
     }
 }
 
@@ -136,10 +154,19 @@ impl QueryLog {
 
     /// Mean true memory (MB) across the log — useful to sanity-check scale.
     pub fn mean_true_memory_mb(&self) -> f64 {
+        self.mean_resources().memory_mb
+    }
+
+    /// Mean per-resource consumption across the log.
+    pub fn mean_resources(&self) -> ResourceVector {
         if self.records.is_empty() {
-            return 0.0;
+            return ResourceVector::ZERO;
         }
-        self.records.iter().map(|r| r.true_memory_mb).sum::<f64>() / self.records.len() as f64
+        self.records
+            .iter()
+            .map(|r| r.resources)
+            .sum::<ResourceVector>()
+            .scale(1.0 / self.records.len() as f64)
     }
 }
 
@@ -196,10 +223,10 @@ pub fn build_record(
 ) -> PlanResult<QueryRecord> {
     let plan = planner.plan(&spec)?;
     let features = featurize_plan(&plan);
-    let true_memory_mb = simulator.peak_memory_mb(&plan, spec.id);
-    let dbms_estimate_mb = heuristic.estimate_mb(&plan);
+    let resources = simulator.true_resources(&plan, spec.id);
+    let dbms_estimate = heuristic.estimate_resources(&plan);
     let _ = catalog; // catalog is implicit in the planner; kept for signature clarity
-    Ok(QueryRecord { id: spec.id, spec, features, true_memory_mb, dbms_estimate_mb, template_hint })
+    Ok(QueryRecord { id: spec.id, spec, features, resources, dbms_estimate, template_hint })
 }
 
 /// Builds a full log from specs (convenience wrapper over [`build_record`]).
@@ -271,8 +298,8 @@ mod tests {
         assert!(!log.is_empty());
         for r in &log.records {
             assert_eq!(r.features.len(), wmp_plan::features::N_PLAN_FEATURES);
-            assert!(r.true_memory_mb > 0.0);
-            assert!(r.dbms_estimate_mb > 0.0);
+            assert!(r.true_memory_mb() > 0.0);
+            assert!(r.dbms_estimate_mb() > 0.0);
             assert!(r.sql().starts_with("SELECT"));
         }
         assert!(log.mean_true_memory_mb() > 0.0);
@@ -364,7 +391,7 @@ SELECT t.a FROM nope
         assert_eq!(log.records[1].id, 1);
         for r in &log.records {
             assert_eq!(r.template_hint, NO_TEMPLATE_HINT);
-            assert!(r.true_memory_mb > 0.0);
+            assert!(r.true_memory_mb() > 0.0);
         }
         assert_eq!(errors.len(), 3);
         assert_eq!(errors[0].line, 5, "line numbers point into the original text");

@@ -313,8 +313,28 @@ mod tests {
         let mean = log.mean_true_memory_mb();
         assert!(mean < 20.0, "OLTP queries should be light, mean = {mean} MB");
         // Compared to the analytic benchmarks the ceiling is low too.
-        let max = log.records.iter().map(|r| r.true_memory_mb).fold(f64::NEG_INFINITY, f64::max);
+        let max = log.records.iter().map(|r| r.true_memory_mb()).fold(f64::NEG_INFINITY, f64::max);
         assert!(max < 300.0, "max = {max} MB");
+    }
+
+    #[test]
+    fn resource_labels_are_complete_and_correlated() {
+        let log = generate(400, 2).unwrap();
+        for r in &log.records {
+            assert!(r.resources.is_finite(), "query {}", r.id);
+            assert!(r.resources.cpu_ms > 0.0, "every query burns CPU");
+            assert!(r.dbms_estimate.cpu_ms > 0.0);
+        }
+        // CPU cost tracks memory across the log: the heaviest-memory half
+        // must also be the CPU-heavier half on average (shared cardinality
+        // driver).
+        let mut by_mem: Vec<&crate::QueryRecord> = log.records.iter().collect();
+        by_mem.sort_by(|a, b| b.true_memory_mb().partial_cmp(&a.true_memory_mb()).unwrap());
+        let (heavy, light) = by_mem.split_at(by_mem.len() / 2);
+        let mean_cpu = |rs: &[&crate::QueryRecord]| {
+            rs.iter().map(|r| r.resources.cpu_ms).sum::<f64>() / rs.len() as f64
+        };
+        assert!(mean_cpu(heavy) > mean_cpu(light), "CPU correlates with memory");
     }
 
     #[test]
@@ -332,8 +352,8 @@ mod tests {
         let a = generate(500, 9).unwrap();
         let b = generate(500, 9).unwrap();
         assert_eq!(
-            a.records.iter().map(|r| r.true_memory_mb).sum::<f64>(),
-            b.records.iter().map(|r| r.true_memory_mb).sum::<f64>()
+            a.records.iter().map(|r| r.true_memory_mb()).sum::<f64>(),
+            b.records.iter().map(|r| r.true_memory_mb()).sum::<f64>()
         );
         let hints: std::collections::HashSet<usize> =
             a.records.iter().map(|r| r.template_hint).collect();

@@ -602,8 +602,12 @@ mod tests {
         let hints: std::collections::HashSet<usize> =
             log.records.iter().map(|r| r.template_hint).collect();
         assert_eq!(hints.len(), N_TEMPLATES);
-        // Analytic queries should demand nontrivial memory on average.
+        // Analytic queries should demand nontrivial memory on average, and
+        // the analytic scans/joins must dominate OLTP on every resource.
         assert!(log.mean_true_memory_mb() > 1.0, "mean = {}", log.mean_true_memory_mb());
+        let mean = log.mean_resources();
+        assert!(mean.cpu_ms > 1.0, "analytic CPU cost is nontrivial: {mean}");
+        assert!(mean.io_pages > 10.0, "analytic I/O volume is nontrivial: {mean}");
     }
 
     #[test]
@@ -612,11 +616,11 @@ mod tests {
         let b = generate(30, 11).unwrap();
         for (ra, rb) in a.records.iter().zip(&b.records) {
             assert_eq!(ra.features, rb.features);
-            assert_eq!(ra.true_memory_mb, rb.true_memory_mb);
+            assert_eq!(ra.resources, rb.resources, "full label vector is deterministic");
         }
         let c = generate(30, 12).unwrap();
         let same =
-            a.records.iter().zip(&c.records).all(|(x, y)| x.true_memory_mb == y.true_memory_mb);
+            a.records.iter().zip(&c.records).all(|(x, y)| x.true_memory_mb() == y.true_memory_mb());
         assert!(!same, "different seeds must differ");
     }
 

@@ -658,8 +658,8 @@ mod tests {
         let b = generate(44, 7).unwrap();
         assert_eq!(a.len(), 44);
         assert_eq!(
-            a.records.iter().map(|r| r.true_memory_mb).sum::<f64>(),
-            b.records.iter().map(|r| r.true_memory_mb).sum::<f64>()
+            a.records.iter().map(|r| r.true_memory_mb()).sum::<f64>(),
+            b.records.iter().map(|r| r.true_memory_mb()).sum::<f64>()
         );
         let hints: std::collections::HashSet<usize> =
             a.records.iter().map(|r| r.template_hint).collect();
@@ -677,8 +677,17 @@ mod tests {
             "TPC-H joins and sorts should be memory-hungry, mean = {} MB",
             log.mean_true_memory_mb()
         );
-        let max = log.records.iter().map(|r| r.true_memory_mb).fold(f64::NEG_INFINITY, f64::max);
+        let max = log.records.iter().map(|r| r.true_memory_mb()).fold(f64::NEG_INFINITY, f64::max);
         assert!(max > 20.0, "heavy queries should spike, max = {max} MB");
+    }
+
+    #[test]
+    fn tpch_cpu_and_io_labels_scale_with_the_joins() {
+        let analytic = generate(44, 3).unwrap().mean_resources();
+        let oltp = crate::tpcc::generate(44, 3).unwrap().mean_resources();
+        assert!(analytic.cpu_ms > 5.0 * oltp.cpu_ms, "analytic {analytic} vs oltp {oltp}");
+        assert!(analytic.io_pages > 5.0 * oltp.io_pages, "analytic {analytic} vs oltp {oltp}");
+        assert!(analytic.memory_mb > 5.0 * oltp.memory_mb, "analytic {analytic} vs oltp {oltp}");
     }
 
     #[test]

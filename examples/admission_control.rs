@@ -60,9 +60,9 @@ fn main() {
         let mut predicted = [0.0f64; 2];
         for (slot, (_, engine)) in engines.iter().enumerate() {
             let tickets: Vec<_> = chunk.iter().map(|r| engine.submit(r.clone())).collect();
-            predicted[slot] = tickets[0].wait().expect("decision").predicted_mb;
+            predicted[slot] = tickets[0].wait().expect("decision").predicted_mb();
         }
-        let actual: f64 = chunk.iter().map(|r| r.true_memory_mb).sum();
+        let actual: f64 = chunk.iter().map(|r| r.true_memory_mb()).sum();
         windows.push((actual, predicted));
     }
 

@@ -15,6 +15,8 @@ use learnedwmp::core::{
     WorkloadPredictor,
 };
 use learnedwmp::mlkit::metrics::quantile;
+use learnedwmp::plan::{ResourceKind, ResourceVector};
+use learnedwmp::sim::AdmissionController;
 use learnedwmp::workloads::QueryRecord;
 
 fn main() {
@@ -33,7 +35,7 @@ fn main() {
     // "Future" concurrent batches the capacity plan must accommodate; both
     // estimators answer through the `WorkloadPredictor` trait's batched path.
     let batches = batch_workloads(&future, 10, 3, LabelMode::Sum);
-    let actual: Vec<f64> = batches.iter().map(|w| w.y).collect();
+    let actual: Vec<f64> = batches.iter().map(|w| w.y_mb()).collect();
     let predict = |p: &dyn WorkloadPredictor| -> Vec<f64> {
         p.predict_workloads(&future, &batches).expect("prediction")
     };
@@ -64,5 +66,46 @@ fn main() {
         "\n  -> LearnedWMP's plan deviates {:+.1}% from the oracle capacity; the heuristic's deviates {:+.1}%.",
         (learned_cap / oracle_cap - 1.0) * 100.0,
         (heuristic_cap / oracle_cap - 1.0) * 100.0
+    );
+
+    // ------------------------------------------------------------------
+    // Joint admission: memory capacity alone is not a safe gate. The model
+    // predicts a full resource vector per batch, so the controller can also
+    // budget CPU — and defer a batch that memory alone would happily admit.
+    // ------------------------------------------------------------------
+    println!("\nJoint memory + CPU admission (predictions from the same model):");
+    let resources = model.predict_resources_many(&future, &batches).expect("resource prediction");
+    let actual_resources: Vec<ResourceVector> = batches.iter().map(|w| w.y).collect();
+    // Pick the two most CPU-hungry batches: both fit the memory budget
+    // together, but the CPU budget only accommodates the first.
+    let mut by_cpu: Vec<usize> = (0..resources.len()).collect();
+    by_cpu.sort_by(|&a, &b| resources[b].cpu_ms.total_cmp(&resources[a].cpu_ms));
+    let (first, second) = (by_cpu[0], by_cpu[1]);
+    let mem_budget = (resources[first].memory_mb + resources[second].memory_mb) * 2.0;
+    let cpu_budget = resources[first].cpu_ms + resources[second].cpu_ms * 0.5;
+
+    let mut joint = AdmissionController::new(mem_budget).with_cpu_budget(cpu_budget);
+    let mut memory_only = AdmissionController::new(mem_budget);
+    for &i in &[first, second] {
+        let joint_verdict = joint.offer_resources(resources[i], actual_resources[i]);
+        let memory_verdict = memory_only.offer_resources(resources[i], actual_resources[i]);
+        println!(
+            "  batch {i:>3}: predicted {} | memory-only gate: {:?} | joint gate: {:?}{}",
+            resources[i],
+            memory_verdict,
+            joint_verdict,
+            joint
+                .last_rejected_on()
+                .map(|k| format!(" (deferred on {})", k.label()))
+                .unwrap_or_default()
+        );
+    }
+    assert!(
+        joint.last_rejected_on() == Some(ResourceKind::Cpu),
+        "the second batch must be deferred on CPU, not memory"
+    );
+    println!(
+        "  -> the second batch fits the {mem_budget:.0} MB memory budget but would blow the \
+         {cpu_budget:.1} ms CPU budget; only the joint gate defers it."
     );
 }

@@ -60,12 +60,12 @@ fn main() {
         let queries: Vec<&QueryRecord> = w.query_indices.iter().map(|&j| test[j]).collect();
         let preds: Vec<f64> =
             predictors.iter().map(|p| p.predict_workload(&queries).expect("prediction")).collect();
-        println!("  {:>10} {:>12.1} {:>12.1} {:>12.1}", i, w.y, preds[0], preds[1]);
+        println!("  {:>10} {:>12.1} {:>12.1} {:>12.1}", i, w.y_mb(), preds[0], preds[1]);
     }
 
     // 5. Aggregate accuracy over all unseen workloads, via the batched
     //    fast path (each query is template-assigned exactly once).
-    let y: Vec<f64> = workloads.iter().map(|w| w.y).collect();
+    let y: Vec<f64> = workloads.iter().map(|w| w.y_mb()).collect();
     println!("\nRMSE over {} unseen workloads:", workloads.len());
     let mut rmses = Vec::new();
     for p in &predictors {
@@ -96,7 +96,7 @@ fn main() {
         "\nServing engine: window of {} priced at {:.1} MB by model v{} \
          (p50 scoring latency {} µs)",
         decision.window_len,
-        decision.predicted_mb,
+        decision.predicted_mb(),
         decision.model_version,
         engine.stats().p50_latency_us
     );

@@ -67,7 +67,7 @@ fn main() {
                         // The query "executes"; its measured memory streams
                         // into the background retrainer.
                         engine.observe(record.clone());
-                        pending.push((ticket, record.true_memory_mb));
+                        pending.push((ticket, record.true_memory_mb()));
                     }
                     pending
                 })
@@ -100,7 +100,7 @@ fn main() {
     // group actual per-query memory by window id.
     let mut by_window: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
     for (decision, actual_mb) in &outcomes {
-        let entry = by_window.entry(decision.window_id).or_insert((decision.predicted_mb, 0.0));
+        let entry = by_window.entry(decision.window_id).or_insert((decision.predicted_mb(), 0.0));
         entry.1 += actual_mb;
     }
     // Budget ≈ 2.5 mean windows with 2 admitted at a time: a deliberately

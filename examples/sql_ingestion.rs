@@ -71,7 +71,7 @@ fn main() {
     let mut buckets: BTreeMap<u64, usize> = BTreeMap::new();
     for ticket in &tickets {
         let decision = ticket.wait().expect("scored");
-        *buckets.entry((decision.predicted_mb / BUCKET_MB) as u64).or_default() += 1;
+        *buckets.entry((decision.predicted_mb() / BUCKET_MB) as u64).or_default() += 1;
     }
     println!("\nPredicted window memory, {BUCKET_MB:.0} MB buckets (queries per bucket):");
     for (bucket, n) in &buckets {

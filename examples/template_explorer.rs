@@ -62,7 +62,7 @@ fn main() {
             continue;
         }
         let mean_mem: f64 =
-            group.iter().map(|r| r.true_memory_mb).sum::<f64>() / group.len() as f64;
+            group.iter().map(|r| r.true_memory_mb()).sum::<f64>() / group.len() as f64;
         let example = group[0].sql();
         let example = if example.len() > 72 { format!("{}…", &example[..72]) } else { example };
         println!("  t{t:<2} n={:<4} mem≈{mean_mem:>7.2} MB  {example}", group.len());

@@ -25,8 +25,8 @@ fn generation_is_bit_identical_across_runs() {
     ] {
         for (ra, rb) in a.records.iter().zip(&b.records) {
             assert_eq!(ra.features, rb.features, "{name} features");
-            assert_eq!(ra.true_memory_mb, rb.true_memory_mb, "{name} labels");
-            assert_eq!(ra.dbms_estimate_mb, rb.dbms_estimate_mb, "{name} estimates");
+            assert_eq!(ra.true_memory_mb(), rb.true_memory_mb(), "{name} labels");
+            assert_eq!(ra.dbms_estimate_mb(), rb.dbms_estimate_mb(), "{name} estimates");
             assert_eq!(ra.sql(), rb.sql(), "{name} sql");
         }
     }
@@ -37,7 +37,7 @@ fn different_seeds_change_the_corpus() {
     let a = learnedwmp::workloads::tpcds::generate(200, 1).expect("a");
     let b = learnedwmp::workloads::tpcds::generate(200, 2).expect("b");
     let identical =
-        a.records.iter().zip(&b.records).all(|(x, y)| x.true_memory_mb == y.true_memory_mb);
+        a.records.iter().zip(&b.records).all(|(x, y)| x.true_memory_mb() == y.true_memory_mb());
     assert!(!identical);
 }
 

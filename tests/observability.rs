@@ -85,6 +85,8 @@ fn serving_lifecycle_emits_spans_events_and_metrics() {
         .expect("latency histogram");
     assert_eq!(latency.count, (N_QUERIES / WINDOW) as u64);
     assert!(gauge("wmp_prediction_mae_mb").is_finite());
+    assert!(gauge("wmp_prediction_mae_cpu_ms").is_finite());
+    assert!(gauge("wmp_prediction_mae_io_pages").is_finite());
     let drift = gauge("wmp_template_drift_score");
     assert!((0.0..=1.0).contains(&drift), "drift {drift} out of range");
     assert_eq!(gauge("wmp_pending_queries"), 0.0);

@@ -70,13 +70,13 @@ fn templates_group_queries_of_similar_memory() {
     let refs: Vec<&QueryRecord> = log.records.iter().collect();
     let mut learner = PlanKMeansTemplates::new(60, 42);
     learner.fit(&refs, &log.catalog).expect("fit");
-    let global_mean: f64 = refs.iter().map(|r| r.true_memory_mb).sum::<f64>() / refs.len() as f64;
+    let global_mean: f64 = refs.iter().map(|r| r.true_memory_mb()).sum::<f64>() / refs.len() as f64;
     let global_var: f64 =
-        refs.iter().map(|r| (r.true_memory_mb - global_mean).powi(2)).sum::<f64>()
+        refs.iter().map(|r| (r.true_memory_mb() - global_mean).powi(2)).sum::<f64>()
             / refs.len() as f64;
     let mut groups: Vec<Vec<f64>> = vec![Vec::new(); learner.n_templates()];
     for r in &refs {
-        groups[learner.assign(r).expect("assign")].push(r.true_memory_mb);
+        groups[learner.assign(r).expect("assign")].push(r.true_memory_mb());
     }
     let mut within = 0.0;
     for g in groups.iter().filter(|g| !g.is_empty()) {
@@ -100,7 +100,7 @@ fn sum_labels_dominate_max_labels() {
     let maxes = batch_workloads(&refs, 10, 1, LabelMode::Max);
     for (s, m) in sums.iter().zip(&maxes) {
         assert_eq!(s.query_indices, m.query_indices, "same partition, different labels");
-        assert!(s.y > m.y, "sum {} must exceed max {}", s.y, m.y);
+        assert!(s.y_mb() > m.y_mb(), "sum {} must exceed max {}", s.y_mb(), m.y_mb());
     }
 }
 

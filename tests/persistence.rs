@@ -81,13 +81,49 @@ fn file_round_trip_via_paths() {
 fn version_mismatch_is_a_clear_error() {
     let log = learnedwmp::workloads::tpcc::generate(250, 2).expect("log");
     let mut bytes = artifact_of(&trained(ModelKind::Ridge, &log));
-    // The format version lives at offset 4 (u16 LE).
-    bytes[4] = 2;
+    // The format version lives at offset 4 (u16 LE). Version 3 does not
+    // exist yet; versions 1 and 2 both load.
+    bytes[4] = 3;
     bytes[5] = 0;
     let err = LearnedWmp::load_from_reader(&mut bytes.as_slice()).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("version 2"), "error must name the found version: {msg}");
-    assert!(msg.contains('1'), "error must name the supported version: {msg}");
+    assert!(msg.contains("version 3"), "error must name the found version: {msg}");
+    assert!(msg.contains("1..=2"), "error must name the supported versions: {msg}");
+}
+
+/// Cross-version compatibility: a committed format-version-1 artifact
+/// (trained before multi-resource targets existed, when plan features were
+/// 20-wide and labels were scalar memory) must still load and predict the
+/// exact bits it predicted at save time. The fixture was built from
+/// `tpcc::generate(250, 3)` with Ridge and `PlanKMeans { k: 6, seed: 1 }`;
+/// today's generator emits the same first 20 features (the 6 structural
+/// features are appended after), so truncating regenerated records
+/// reconstructs the fixture's inputs.
+#[test]
+fn version_1_fixture_still_loads_and_predicts_the_recorded_bits() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/learnedwmp_v1_ridge.lwmp");
+    let model = LearnedWmp::load_from(&path).expect("v1 artifact must load");
+    assert_eq!(model.config().model, ModelKind::Ridge);
+
+    let log = learnedwmp::workloads::tpcc::generate(250, 3).expect("log");
+    let mut records = log.records.clone();
+    for r in &mut records {
+        r.features.truncate(20);
+    }
+    let refs: Vec<&QueryRecord> = records.iter().collect();
+    let pred = model.predict_workload(&refs[..10]).expect("predict");
+    assert_eq!(
+        pred.to_bits(),
+        0x3fe4_b7a2_4e70_2334,
+        "v1 artifact drifted: predicted {pred}, expected 0.6474162609093583"
+    );
+
+    // A v1 model is scalar: its resource vector is the memory projection.
+    let r = model.predict_resources(&refs[..10]).expect("resources");
+    assert_eq!(r.memory_mb.to_bits(), pred.to_bits());
+    assert_eq!(r.cpu_ms, 0.0);
+    assert_eq!(r.io_pages, 0.0);
 }
 
 #[test]

@@ -129,7 +129,7 @@ fn engine_stats_reconcile_under_concurrent_submission_and_swapping() {
                 let tickets: Vec<_> = records.iter().map(|r| engine.submit(r.clone())).collect();
                 for t in tickets {
                     let d = t.wait().expect("prediction");
-                    assert!(d.predicted_mb.is_finite());
+                    assert!(d.predicted_mb().is_finite());
                     assert!(d.window_len >= 1 && d.window_len <= WINDOW);
                 }
             });
@@ -170,8 +170,8 @@ fn engine_serves_through_the_facade_reexport() {
     for chunk in log.replay(10) {
         let tickets: Vec<_> = chunk.iter().map(|r| engine.submit(r.clone())).collect();
         let decision = tickets[0].wait().expect("decision");
-        let actual: f64 = chunk.iter().map(|r| r.true_memory_mb).sum();
-        assert!(gate.offer(decision.predicted_mb, actual).admitted());
+        let actual: f64 = chunk.iter().map(|r| r.true_memory_mb()).sum();
+        assert!(gate.offer(decision.predicted_mb(), actual).admitted());
         gate.complete_oldest();
     }
     assert_eq!(gate.stats().admitted, 20);

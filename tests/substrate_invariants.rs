@@ -23,8 +23,8 @@ fn every_generated_query_obeys_structural_contracts() {
             // Feature layout.
             assert_eq!(r.features.len(), N_PLAN_FEATURES, "{}", log.benchmark);
             // Labels and estimates are positive and finite.
-            assert!(r.true_memory_mb.is_finite() && r.true_memory_mb > 0.0);
-            assert!(r.dbms_estimate_mb.is_finite() && r.dbms_estimate_mb > 0.0);
+            assert!(r.true_memory_mb().is_finite() && r.true_memory_mb() > 0.0);
+            assert!(r.dbms_estimate_mb().is_finite() && r.dbms_estimate_mb() > 0.0);
             // Re-planning the stored spec reproduces the stored features.
             let plan = planner.plan(&r.spec).expect("replans");
             let features = learnedwmp::plan::features::featurize_plan(&plan);
@@ -56,8 +56,8 @@ fn simulator_and_heuristic_agree_on_plan_reexecution() {
         for r in log.records.iter().take(50) {
             let plan = planner.plan(&r.spec).expect("plan");
             assert_eq!(sim_a.peak_memory_mb(&plan, r.id), sim_b.peak_memory_mb(&plan, r.id));
-            assert_eq!(sim_a.peak_memory_mb(&plan, r.id), r.true_memory_mb);
-            assert_eq!(heur.estimate_mb(&plan), r.dbms_estimate_mb);
+            assert_eq!(sim_a.peak_memory_mb(&plan, r.id), r.true_memory_mb());
+            assert_eq!(heur.estimate_mb(&plan), r.dbms_estimate_mb());
         }
     }
 }
