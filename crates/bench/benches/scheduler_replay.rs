@@ -1,0 +1,128 @@
+//! Criterion bench for the closed-loop scheduler: a TPC-H-style window
+//! stream replayed through the `wmp_sched` discrete-event simulator under
+//! the three demand regimes (nominal baseline / LearnedWMP predictions /
+//! oracle). Measures replay throughput (windows/s) and records each
+//! regime's cost breakdown — SLA penalty, stranded capacity, utilization —
+//! as `BENCH_scheduler_replay.json` at the repository root, so prediction
+//! quality is tracked *as scheduling outcomes* across commits.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use learnedwmp_core::{LearnedWmp, ModelKind, TemplateSpec, WorkloadPredictor};
+use wmp_bench::report::BenchReport;
+use wmp_plan::ResourceVector;
+use wmp_sched::{
+    replay, BestFit, CostModel, DemandSource, FirstFit, PlacementPolicy, PredictionAware,
+    ReplayConfig, Scheduler, SlaClass,
+};
+use wmp_sim::Cluster;
+use wmp_workloads::{ArrivalProcess, QueryRecord};
+
+const WINDOW: usize = 10;
+
+fn scheduler(policy: Box<dyn PlacementPolicy>) -> Scheduler {
+    Scheduler::new(Cluster::uniform(4, ResourceVector::new(256.0, 8_000.0, f64::INFINITY)), policy)
+        .with_sla_classes(vec![SlaClass::new(1_000, 10.0), SlaClass::new(4_000, 2.0)])
+        .with_cost_model(CostModel { stranded_per_mb_tick: 1e-6 })
+}
+
+fn config() -> ReplayConfig {
+    ReplayConfig {
+        window: WINDOW,
+        arrivals: ArrivalProcess::Bursty {
+            burst_gap_ticks: 120.0,
+            idle_gap_ticks: 3_000.0,
+            mean_burst_len: 40.0,
+        },
+        seed: 11,
+    }
+}
+
+fn bench_scheduler_replay(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let n_queries = if test_mode { 2_000 } else { 60_000 };
+    let n_train = if test_mode { 1_000 } else { 15_000 };
+    let log = wmp_workloads::tpch::generate(n_queries, 7).expect("tpch generation");
+    let train: Vec<&QueryRecord> = log.records.iter().take(n_train).collect();
+    let model = LearnedWmp::builder()
+        .model(ModelKind::Ridge)
+        .templates(TemplateSpec::PlanKMeans { k: 22, seed: 42 })
+        .batch_size(WINDOW)
+        .fit_refs(&train, &log.catalog)
+        .expect("training");
+    let predictor: &dyn WorkloadPredictor = &model;
+
+    let mean_window: ResourceVector = log
+        .records
+        .iter()
+        .map(|r| r.resources)
+        .sum::<ResourceVector>()
+        .scale(WINDOW as f64 / log.len() as f64);
+    let nominal = mean_window.scale(3.0);
+    let windows = log.len().div_ceil(WINDOW);
+
+    let mut report = BenchReport::new("scheduler_replay", test_mode);
+    report
+        .config_num("n_queries", n_queries as f64)
+        .config_num("n_windows", windows as f64)
+        .config_num("executors", 4.0)
+        .config_num("window", WINDOW as f64)
+        .config_str("dataset", "tpch")
+        .config_str("arrivals", "bursty");
+
+    // Criterion timing: the oracle replay is the pure simulator hot path
+    // (no prediction cost), so its throughput isolates the scheduler.
+    c.bench_function("scheduler_replay_oracle", |b| {
+        b.iter(|| {
+            black_box(
+                replay(&log, DemandSource::Oracle, scheduler(Box::new(BestFit)), &config())
+                    .expect("oracle replay"),
+            )
+        })
+    });
+
+    println!("scheduler replay ({windows} windows, 4 executors):");
+    let regimes: Vec<(&str, DemandSource<'_>, Box<dyn PlacementPolicy>)> = vec![
+        ("baseline_nominal", DemandSource::Nominal(nominal), Box::new(FirstFit)),
+        (
+            "prediction_aware",
+            DemandSource::Predictor(predictor),
+            Box::new(PredictionAware::new(1.1)),
+        ),
+        ("oracle", DemandSource::Oracle, Box::new(BestFit)),
+    ];
+    for (name, source, policy) in regimes {
+        let t0 = Instant::now();
+        let r = replay(&log, source, scheduler(policy), &config()).expect("replay");
+        let windows_per_sec = windows as f64 / t0.elapsed().as_secs_f64();
+        println!(
+            "  {:<18} total cost {:>10.1}  (sla {:>9.1}, stranded {:>7.1})  util mem {:>3.0}%",
+            name,
+            r.total_cost(),
+            r.sla_penalty,
+            r.stranded_cost,
+            r.mean_utilization.memory_mb * 100.0,
+        );
+        report.result_metrics(
+            name,
+            windows_per_sec,
+            &[
+                ("total_cost", r.total_cost()),
+                ("sla_penalty", r.sla_penalty),
+                ("sla_violations", r.sla_violations as f64),
+                ("stranded_cost", r.stranded_cost),
+                ("overflow_events", r.overflow_events as f64),
+                ("placed_deferred", r.placed_deferred as f64),
+                ("rejected", r.rejected as f64),
+                ("mean_util_memory", r.mean_utilization.memory_mb),
+                ("mean_util_cpu", r.mean_utilization.cpu_ms),
+                ("makespan_ticks", r.makespan_ticks as f64),
+            ],
+        );
+    }
+    report.write();
+}
+
+criterion_group!(benches, bench_scheduler_replay);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Registry-backed observability for the scheduler: the `wmp_sched_*`
+//! metric family (see the README metrics catalog). Attached via
+//! [`crate::Scheduler::with_observability`]; the scheduler works identically
+//! without it — the registry adds the exportable (Prometheus/JSON) view.
+
+use std::sync::Arc;
+
+use wmp_obs::{Counter, Gauge, Histogram, Registry};
+
+/// The scheduler's registered instruments. Publication points:
+/// counters on every placement decision, gauges + the wait histogram as
+/// outcomes land, all idempotently re-registered on a shared registry.
+pub(crate) struct SchedObs {
+    pub(crate) placed: Arc<Counter>,
+    pub(crate) deferred: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) sla_violations: Arc<Counter>,
+    pub(crate) overflows: Arc<Counter>,
+    pub(crate) sla_penalty: Arc<Gauge>,
+    pub(crate) stranded_cost: Arc<Gauge>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) util_memory: Arc<Gauge>,
+    pub(crate) util_cpu: Arc<Gauge>,
+    pub(crate) deferral_latency: Arc<Histogram>,
+}
+
+impl SchedObs {
+    pub(crate) fn new(registry: &Arc<Registry>) -> Self {
+        let r = registry;
+        SchedObs {
+            placed: r.counter(
+                "wmp_sched_placed_total",
+                "Workloads admitted onto an executor (direct + after deferral)",
+                &[],
+            ),
+            deferred: r.counter(
+                "wmp_sched_deferred_total",
+                "Workloads sent to the deferral queue at least once",
+                &[],
+            ),
+            rejected: r.counter(
+                "wmp_sched_rejected_total",
+                "Workloads whose reservation can never fit any executor",
+                &[],
+            ),
+            sla_violations: r.counter(
+                "wmp_sched_sla_violations_total",
+                "Workloads that started after their SLA deadline",
+                &[],
+            ),
+            overflows: r.counter(
+                "wmp_sched_overflow_total",
+                "Placements after which an executor's actual occupancy exceeded capacity",
+                &[],
+            ),
+            sla_penalty: r.gauge("wmp_sched_sla_penalty", "Accumulated SLA violation penalty", &[]),
+            stranded_cost: r.gauge(
+                "wmp_sched_stranded_cost",
+                "Accumulated stranded-capacity cost (priced MB·ticks)",
+                &[],
+            ),
+            queue_depth: r.gauge(
+                "wmp_sched_queue_depth",
+                "Workloads currently waiting in the deferral queue",
+                &[],
+            ),
+            util_memory: r.gauge(
+                "wmp_sched_utilization_memory",
+                "Time-averaged actual memory occupancy / cluster capacity",
+                &[],
+            ),
+            util_cpu: r.gauge(
+                "wmp_sched_utilization_cpu",
+                "Time-averaged actual CPU occupancy / cluster capacity",
+                &[],
+            ),
+            deferral_latency: r.histogram(
+                "wmp_sched_deferral_latency_ticks",
+                "Queueing delay (virtual ticks) of workloads placed after deferral",
+                &[],
+            ),
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! The discrete-event scheduler core: virtual-time submission, completion,
+//! deferral retry, and cost accounting over a [`wmp_sim::Cluster`].
+//!
+//! Everything runs in **virtual ticks** — no wall clock anywhere — so a run
+//! is a pure function of (cluster, policy, SLA classes, cost model, request
+//! sequence): the determinism contract the replay tests pin to bit-identical
+//! [`ScheduleReport`]s.
+//!
+//! Event semantics, in order, for `submit(request)`:
+//!
+//! 1. the clock advances to `request.arrival`, processing every completion
+//!    due on the way (occupancy integrals are accumulated *before* each
+//!    release, so integrals see the workload up to its finish tick);
+//! 2. each completion retries the deferral queue in FIFO order (one pass);
+//! 3. the request itself is placed if the policy finds a fitting executor,
+//!    **deferred** if not, and **rejected** only when its reservation could
+//!    never fit even an empty executor — so every submitted workload ends in
+//!    exactly one of placed / deferred-then-placed / rejected (the
+//!    conservation invariant the property tests check).
+//!
+//! Placement is re-checked through [`wmp_sim::Executor::try_admit`], which
+//! refuses over-capacity reservations: a buggy policy cannot violate the
+//! capacity invariant, it only causes deferrals.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use wmp_plan::ResourceVector;
+use wmp_sim::Cluster;
+
+use crate::obs::SchedObs;
+use crate::policy::PlacementPolicy;
+use crate::report::{CostModel, Integrals, ScheduleReport};
+use crate::sla::SlaClass;
+
+/// One unit of schedulable work: a predicted workload window with its
+/// decision-view demand (what the scheduler believes) and actual demand
+/// (what the hardware will experience).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadRequest {
+    /// Caller-assigned id, unique per run.
+    pub id: u64,
+    /// Tenant index; maps to an SLA class via `tenant % n_classes`.
+    pub tenant: usize,
+    /// Arrival tick. Submissions must be in non-decreasing arrival order;
+    /// an arrival before the current clock is clamped to "now".
+    pub arrival: u64,
+    /// Service duration in ticks once started (clamped to ≥ 1).
+    pub duration: u64,
+    /// The demand the placement decision is made on (prediction, nominal
+    /// constant, or the truth for an oracle).
+    pub decision: ResourceVector,
+    /// The demand the workload actually imposes while running.
+    pub actual: ResourceVector,
+    /// Queries aggregated into this workload (report bookkeeping only).
+    pub queries: usize,
+}
+
+/// The outcome `submit` reports for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submitted {
+    /// Placed immediately on the given executor.
+    Placed(usize),
+    /// Queued; will be placed when capacity frees up.
+    Deferred,
+    /// Reservation can never fit any executor — dropped permanently.
+    Rejected,
+}
+
+/// A deferred request plus the bookkeeping to price its wait when placed.
+#[derive(Debug, Clone, Copy)]
+struct Waiting {
+    request: WorkloadRequest,
+    reserve: ResourceVector,
+}
+
+/// The discrete-event multi-tenant scheduler. See the module docs for the
+/// event semantics and [`crate::PlacementPolicy`] for the decision rules.
+pub struct Scheduler {
+    cluster: Cluster,
+    policy: Box<dyn PlacementPolicy>,
+    sla: Vec<SlaClass>,
+    cost: CostModel,
+    clock: u64,
+    /// Min-heap of (finish_tick, workload id, executor index). The id in
+    /// the key makes pop order total, hence deterministic.
+    completions: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    waiting: VecDeque<Waiting>,
+    integrals: Integrals,
+    obs: Option<SchedObs>,
+    // Outcome counters (mirrored into the report).
+    workloads: usize,
+    queries: usize,
+    placed_direct: usize,
+    placed_deferred: usize,
+    rejected: usize,
+    sla_violations: usize,
+    sla_penalty: f64,
+    overflow_events: usize,
+    total_deferral_ticks: u64,
+    max_deferral_ticks: u64,
+    makespan: u64,
+}
+
+impl Scheduler {
+    /// A scheduler over `cluster` deciding placements with `policy`. No SLA
+    /// classes (no penalties) and the default [`CostModel`] until configured
+    /// via [`Scheduler::with_sla_classes`] / [`Scheduler::with_cost_model`].
+    pub fn new(cluster: Cluster, policy: Box<dyn PlacementPolicy>) -> Self {
+        Scheduler {
+            cluster,
+            policy,
+            sla: Vec::new(),
+            cost: CostModel::default(),
+            clock: 0,
+            completions: BinaryHeap::new(),
+            waiting: VecDeque::new(),
+            integrals: Integrals::default(),
+            obs: None,
+            workloads: 0,
+            queries: 0,
+            placed_direct: 0,
+            placed_deferred: 0,
+            rejected: 0,
+            sla_violations: 0,
+            sla_penalty: 0.0,
+            overflow_events: 0,
+            total_deferral_ticks: 0,
+            max_deferral_ticks: 0,
+            makespan: 0,
+        }
+    }
+
+    /// Sets the SLA classes; a request's class is `tenant % classes.len()`.
+    pub fn with_sla_classes(mut self, classes: Vec<SlaClass>) -> Self {
+        self.sla = classes;
+        self
+    }
+
+    /// Sets the stranded-capacity pricing.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Publishes `wmp_sched_*` metrics into `registry` from now on.
+    pub fn with_observability(mut self, registry: Arc<wmp_obs::Registry>) -> Self {
+        self.obs = Some(SchedObs::new(&registry));
+        self
+    }
+
+    /// The cluster (current occupancy included) — the surface the property
+    /// tests assert the capacity invariant on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Workloads currently waiting in the deferral queue.
+    pub fn queue_depth(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// The SLA class governing `tenant` (`None` when no classes are set).
+    fn sla_for(&self, tenant: usize) -> Option<SlaClass> {
+        if self.sla.is_empty() {
+            None
+        } else {
+            Some(self.sla[tenant % self.sla.len()])
+        }
+    }
+
+    /// Submits one request, advancing virtual time to its arrival (events
+    /// due on the way are processed first). Requests must arrive in
+    /// non-decreasing `arrival` order; earlier arrivals are clamped to the
+    /// current clock.
+    pub fn submit(&mut self, request: WorkloadRequest) -> Submitted {
+        let arrival = request.arrival.max(self.clock);
+        self.advance_to(arrival);
+        self.workloads += 1;
+        self.queries += request.queries;
+        let reserve = self.policy.reserve_demand(request.decision);
+        if !self.cluster.could_ever_fit(reserve) {
+            self.rejected += 1;
+            if let Some(obs) = &self.obs {
+                obs.rejected.inc();
+            }
+            wmp_obs::event!(
+                wmp_obs::Level::Warn,
+                target: "wmp_sched",
+                "workload_rejected",
+                id = request.id,
+                reserve_mb = reserve.memory_mb,
+                reserve_cpu_ms = reserve.cpu_ms,
+            );
+            return Submitted::Rejected;
+        }
+        let waiting = Waiting { request: WorkloadRequest { arrival, ..request }, reserve };
+        if let Some(executor) = self.try_place(waiting) {
+            self.placed_direct += 1;
+            Submitted::Placed(executor)
+        } else {
+            self.waiting.push_back(waiting);
+            if let Some(obs) = &self.obs {
+                obs.deferred.inc();
+                obs.queue_depth.set(self.waiting.len() as f64);
+            }
+            Submitted::Deferred
+        }
+    }
+
+    /// Runs the event loop dry: processes every pending completion and
+    /// drains the deferral queue, then returns the final report. Guaranteed
+    /// to terminate: every deferred reservation fits an empty executor (the
+    /// rejection test), and once the in-flight set drains the cluster *is*
+    /// empty, at which point the queue head is force-placed on the first
+    /// executor that accepts it even if the policy keeps declining.
+    pub fn run_to_completion(&mut self) -> ScheduleReport {
+        loop {
+            if let Some(&Reverse((finish, _, _))) = self.completions.peek() {
+                self.advance_to(finish);
+                continue;
+            }
+            // No in-flight work: the cluster is empty. Place the queue head
+            // directly so arbitrary policies cannot stall the drain.
+            let Some(waiting) = self.waiting.pop_front() else { break };
+            if self.try_place(waiting).is_some() {
+                self.placed_deferred_accounting(waiting);
+            } else {
+                let placed = (0..self.cluster.len()).any(|i| {
+                    self.cluster
+                        .executor_mut(i)
+                        .try_admit(waiting.request.id, waiting.reserve, waiting.request.actual)
+                        .is_ok()
+                });
+                debug_assert!(placed, "queue head must fit an empty cluster");
+                if placed {
+                    // try_place covers accounting on the policy path; this
+                    // fallback path repeats it for the forced placement.
+                    self.account_start(&waiting, self.clock);
+                    self.push_completion(&waiting.request);
+                    self.placed_deferred_accounting(waiting);
+                } else {
+                    self.rejected += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.rejected.inc();
+                    }
+                }
+            }
+            if let Some(obs) = &self.obs {
+                obs.queue_depth.set(self.waiting.len() as f64);
+            }
+        }
+        self.report()
+    }
+
+    /// The report as of the current virtual time (typically called via
+    /// [`Scheduler::run_to_completion`]).
+    pub fn report(&self) -> ScheduleReport {
+        let stranded_cost = self.integrals.stranded_mb_ticks * self.cost.stranded_per_mb_tick;
+        let mean_utilization =
+            self.integrals.mean_utilization(self.cluster.total_capacity(), self.makespan);
+        if let Some(obs) = &self.obs {
+            obs.stranded_cost.set(stranded_cost);
+            obs.util_memory.set(mean_utilization.memory_mb);
+            obs.util_cpu.set(mean_utilization.cpu_ms);
+        }
+        ScheduleReport {
+            policy: self.policy.name().to_string(),
+            demand_source: "direct".to_string(),
+            executors: self.cluster.len(),
+            workloads: self.workloads,
+            queries: self.queries,
+            placed_direct: self.placed_direct,
+            placed_deferred: self.placed_deferred,
+            rejected: self.rejected,
+            sla_violations: self.sla_violations,
+            sla_penalty: self.sla_penalty,
+            stranded_mb_ticks: self.integrals.stranded_mb_ticks,
+            stranded_cost,
+            overflow_events: self.overflow_events,
+            total_deferral_ticks: self.total_deferral_ticks,
+            max_deferral_ticks: self.max_deferral_ticks,
+            makespan_ticks: self.makespan,
+            mean_utilization,
+        }
+    }
+
+    /// Advances the clock to `tick`, processing every completion due on the
+    /// way and retrying the deferral queue after each release.
+    fn advance_to(&mut self, tick: u64) {
+        while let Some(&Reverse((finish, id, executor))) = self.completions.peek() {
+            if finish > tick {
+                break;
+            }
+            self.completions.pop();
+            // Integrate occupancy up to the finish tick *including* the
+            // completing workload, then release it.
+            self.integrals.advance(&self.cluster, finish);
+            self.clock = finish;
+            self.cluster.executor_mut(executor).release(id);
+            self.makespan = finish;
+            self.retry_waiting();
+        }
+        self.integrals.advance(&self.cluster, tick);
+        self.clock = tick;
+    }
+
+    /// One FIFO pass over the deferral queue: placeable workloads start now,
+    /// the rest keep their order.
+    fn retry_waiting(&mut self) {
+        let mut still_waiting = VecDeque::with_capacity(self.waiting.len());
+        while let Some(waiting) = self.waiting.pop_front() {
+            if self.try_place(waiting).is_some() {
+                self.placed_deferred_accounting(waiting);
+            } else {
+                still_waiting.push_back(waiting);
+            }
+        }
+        self.waiting = still_waiting;
+        if let Some(obs) = &self.obs {
+            obs.queue_depth.set(self.waiting.len() as f64);
+        }
+    }
+
+    /// Asks the policy for an executor and admits the workload there. The
+    /// admission is re-checked by the capacity model: a policy pointing at a
+    /// full executor yields `None` (deferral), never an overrun reservation.
+    fn try_place(&mut self, waiting: Waiting) -> Option<usize> {
+        let executor = self.policy.place(waiting.reserve, &self.cluster)?;
+        self.cluster
+            .executor_mut(executor)
+            .try_admit(waiting.request.id, waiting.reserve, waiting.request.actual)
+            .ok()?;
+        self.account_start(&waiting, self.clock);
+        self.push_completion(&waiting.request);
+        Some(executor)
+    }
+
+    /// Charges SLA penalties and counts overflow episodes for a workload
+    /// that starts at `now`.
+    fn account_start(&mut self, waiting: &Waiting, now: u64) {
+        let wait = now - waiting.request.arrival;
+        if let Some(class) = self.sla_for(waiting.request.tenant) {
+            if class.violated_by(wait) {
+                self.sla_violations += 1;
+                self.sla_penalty += class.violation_penalty;
+                if let Some(obs) = &self.obs {
+                    obs.sla_violations.inc();
+                    obs.sla_penalty.set(self.sla_penalty);
+                }
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.placed.inc();
+        }
+        // One overflow episode per placement decision whose aftermath has
+        // actual occupancy over capacity somewhere in the cluster's
+        // touched executor — mirrors AdmissionController::offer counting.
+        let overruns =
+            self.cluster.executors().iter().map(|e| e.actual_overruns()).find(|o| o.any());
+        if let Some(overruns) = overruns {
+            self.overflow_events += 1;
+            if let Some(obs) = &self.obs {
+                obs.overflows.inc();
+            }
+            wmp_obs::event!(
+                wmp_obs::Level::Warn,
+                target: "wmp_sched",
+                "capacity_overflow",
+                id = waiting.request.id,
+                resource = overruns.first().expect("any() implies first").label(),
+                tick = now,
+            );
+        }
+    }
+
+    /// Wait-time accounting for a workload placed from the deferral queue.
+    fn placed_deferred_accounting(&mut self, waiting: Waiting) {
+        self.placed_deferred += 1;
+        let wait = self.clock - waiting.request.arrival;
+        self.total_deferral_ticks += wait;
+        self.max_deferral_ticks = self.max_deferral_ticks.max(wait);
+        if let Some(obs) = &self.obs {
+            obs.deferral_latency.record(wait);
+        }
+    }
+
+    /// Schedules the completion event for a workload starting now.
+    fn push_completion(&mut self, request: &WorkloadRequest) {
+        let finish = self.clock + request.duration.max(1);
+        self.completions.push(Reverse((finish, request.id, {
+            // The executor index in the heap key is informational; release
+            // is by id, searched on the recorded executor.
+            self.cluster
+                .executors()
+                .iter()
+                .position(|e| e.workloads().iter().any(|w| w.id == request.id))
+                .expect("workload was just admitted")
+        })));
+        self.makespan = self.makespan.max(finish);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BestFit, FirstFit};
+
+    fn request(id: u64, arrival: u64, duration: u64, mb: f64) -> WorkloadRequest {
+        WorkloadRequest {
+            id,
+            tenant: id as usize,
+            arrival,
+            duration,
+            decision: ResourceVector::memory_only(mb),
+            actual: ResourceVector::memory_only(mb),
+            queries: 1,
+        }
+    }
+
+    fn scheduler(executors: usize, capacity_mb: f64) -> Scheduler {
+        Scheduler::new(
+            Cluster::uniform(executors, ResourceVector::memory_only(capacity_mb)),
+            Box::new(FirstFit),
+        )
+    }
+
+    #[test]
+    fn places_defers_and_drains_in_fifo_order() {
+        let mut sched = scheduler(1, 100.0);
+        assert_eq!(sched.submit(request(0, 0, 50, 80.0)), Submitted::Placed(0));
+        // No headroom left: both defer.
+        assert_eq!(sched.submit(request(1, 10, 20, 60.0)), Submitted::Deferred);
+        assert_eq!(sched.submit(request(2, 10, 20, 60.0)), Submitted::Deferred);
+        assert_eq!(sched.queue_depth(), 2);
+        let report = sched.run_to_completion();
+        assert_eq!(report.placed_direct, 1);
+        assert_eq!(report.placed_deferred, 2);
+        assert_eq!(report.rejected, 0);
+        // id 1 starts at 50 (wait 40), id 2 at 70 (wait 60).
+        assert_eq!(report.total_deferral_ticks, 100);
+        assert_eq!(report.max_deferral_ticks, 60);
+        assert_eq!(report.makespan_ticks, 90);
+    }
+
+    #[test]
+    fn impossible_reservations_are_rejected_not_queued() {
+        let mut sched = scheduler(2, 100.0);
+        assert_eq!(sched.submit(request(0, 0, 10, 150.0)), Submitted::Rejected);
+        assert_eq!(sched.submit(request(1, 0, 10, 90.0)), Submitted::Placed(0));
+        let report = sched.run_to_completion();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.placed(), 1);
+        assert_eq!(report.workloads, 2);
+    }
+
+    #[test]
+    fn sla_penalties_charge_only_late_starts() {
+        let mut sched = scheduler(1, 100.0).with_sla_classes(vec![SlaClass::new(5, 10.0)]);
+        sched.submit(request(0, 0, 100, 100.0));
+        sched.submit(request(1, 10, 10, 100.0)); // starts at 100, wait 90 > 5
+        let report = sched.run_to_completion();
+        assert_eq!(report.sla_violations, 1);
+        assert!((report.sla_penalty - 10.0).abs() < 1e-12);
+        assert!((report.total_cost() - report.sla_penalty - report.stranded_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_predictions_surface_as_overflow_episodes() {
+        let mut sched = scheduler(1, 100.0);
+        let mut bad = request(0, 0, 10, 60.0);
+        bad.actual = ResourceVector::memory_only(120.0); // reality overruns
+        sched.submit(bad);
+        let report = sched.run_to_completion();
+        assert_eq!(report.overflow_events, 1);
+    }
+
+    #[test]
+    fn over_reservation_strands_capacity() {
+        let mut sched = scheduler(1, 100.0);
+        let mut padded = request(0, 0, 10, 80.0);
+        padded.actual = ResourceVector::memory_only(30.0); // 50 MB stranded × 10 ticks
+        sched.submit(padded);
+        let report = sched.run_to_completion();
+        assert!((report.stranded_mb_ticks - 500.0).abs() < 1e-9);
+        assert!(report.stranded_cost > 0.0);
+    }
+
+    #[test]
+    fn capacity_invariant_holds_mid_run() {
+        let mut sched = Scheduler::new(
+            Cluster::uniform(2, ResourceVector::new(100.0, 1_000.0, f64::INFINITY)),
+            Box::new(BestFit),
+        );
+        for id in 0..20 {
+            sched.submit(WorkloadRequest {
+                id,
+                tenant: 0,
+                arrival: id * 3,
+                duration: 17,
+                decision: ResourceVector::new(40.0, 300.0, 0.0),
+                actual: ResourceVector::new(35.0, 280.0, 0.0),
+                queries: 1,
+            });
+            for executor in sched.cluster().executors() {
+                let reserved = executor.reserved();
+                assert!(reserved.memory_mb <= executor.capacity().memory_mb + 1e-9);
+                assert!(reserved.cpu_ms <= executor.capacity().cpu_ms + 1e-9);
+            }
+        }
+        let report = sched.run_to_completion();
+        assert_eq!(report.placed() + report.rejected, 20);
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_reports() {
+        let run = || {
+            let mut sched = scheduler(2, 100.0).with_sla_classes(vec![SlaClass::new(10, 5.0)]);
+            for id in 0..50 {
+                let mut r = request(id, id * 2, 9, 30.0 + (id % 5) as f64 * 10.0);
+                r.actual = ResourceVector::memory_only(25.0 + (id % 7) as f64 * 9.0);
+                sched.submit(r);
+            }
+            sched.run_to_completion()
+        };
+        assert_eq!(run(), run());
+    }
+}

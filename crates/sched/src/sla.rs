@@ -1,0 +1,47 @@
+//! SLA classes: the per-tenant latency contract a scheduler is judged
+//! against. The WiSeDB framing (PAPERS.md): placement/provisioning decisions
+//! only matter through the cost function of missed deadlines vs. wasted
+//! capacity, so the deadline and its violation price are first-class inputs.
+
+/// One service-level class: a start deadline (ticks of allowed queueing
+/// after arrival) and the penalty charged when a workload misses it.
+///
+/// The deadline gates **start** latency, not completion: the scheduler
+/// controls when a workload begins executing, while its service duration is
+/// the workload's own. A workload that starts more than `deadline_ticks`
+/// after its arrival incurs `violation_penalty` exactly once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaClass {
+    /// Maximum queueing delay (virtual ticks) before the workload must
+    /// start.
+    pub deadline_ticks: u64,
+    /// Cost charged per violated deadline.
+    pub violation_penalty: f64,
+}
+
+impl SlaClass {
+    /// A class allowing `deadline_ticks` of queueing at `violation_penalty`
+    /// per miss.
+    pub fn new(deadline_ticks: u64, violation_penalty: f64) -> Self {
+        SlaClass { deadline_ticks, violation_penalty }
+    }
+
+    /// Whether starting `wait_ticks` after arrival violates this class.
+    pub fn violated_by(&self, wait_ticks: u64) -> bool {
+        wait_ticks > self.deadline_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_inclusive() {
+        let gold = SlaClass::new(100, 25.0);
+        assert!(!gold.violated_by(0));
+        assert!(!gold.violated_by(100), "starting exactly at the deadline is on time");
+        assert!(gold.violated_by(101));
+        assert_eq!(gold.violation_penalty, 25.0);
+    }
+}

@@ -443,6 +443,21 @@ impl Engine {
         &self.handle
     }
 
+    /// Predicts the joint resource demand of `queries` through the
+    /// currently serving model, synchronously. A side-channel read for
+    /// consumers that already hold a whole workload — e.g. a scheduler
+    /// replaying arrival chunks — so it bypasses the window machinery
+    /// entirely: nothing enters a pending window, no ticket is issued, and
+    /// the engine's submit/serve counters are untouched. The model version
+    /// used is whatever [`Engine::handle`] serves at call time.
+    ///
+    /// # Errors
+    /// Propagates the model's prediction error (e.g. feature-arity
+    /// mismatch); the serving state is unaffected either way.
+    pub fn predict_now(&self, queries: &[&QueryRecord]) -> MlResult<wmp_plan::ResourceVector> {
+        self.handle.snapshot().model().predict_resources(queries)
+    }
+
     /// Point-in-time serving telemetry. The snapshot satisfies
     /// `submitted >= served + failed + pending` even while submissions and
     /// scoring race with this call — see the coherence contract in

@@ -13,12 +13,24 @@
 //! can still be deferred because the box is CPU-saturated (the WiSeDB-style
 //! scheduling regime).
 //!
+//! The controller is a single-[`Executor`] front over the cluster capacity
+//! model in [`crate::cluster`] — the same accounting `wmp_sched` scales to N
+//! executors. Delegating to [`Executor::try_admit`] gives the gate **one**
+//! headroom comparison shared by all gated resources: a workload over budget
+//! on memory *and* CPU in the same window produces exactly one rejection
+//! (attributed to the first overrun axis), and an overflow episode spanning
+//! several resources counts one event with per-resource attribution —
+//! the previous per-resource decision paths double-counted neither view but
+//! could not express joint attribution at all.
+//!
 //! The controller is predictor-agnostic — it consumes plain
 //! `(predicted, actual)` pairs — so the serving engine (`wmp_serve`), the
 //! examples, and tests can drive the same scenario with LearnedWMP, the
 //! DBMS heuristic, or an oracle, and compare [`AdmissionStats`].
 
 use wmp_plan::{ResourceKind, ResourceVector, N_RESOURCES};
+
+use crate::cluster::{CapacityExceeded, Executor};
 
 /// The controller's verdict for one offered workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,15 +61,23 @@ pub struct AdmissionStats {
     /// Rejections per resource dimension (in [`ResourceKind::ALL`] order):
     /// how often each gated resource was the *first* to run out. A memory
     /// rejection and a CPU rejection call for different remedies (more RAM
-    /// vs. more cores / deferral), so the split is tracked.
+    /// vs. more cores / deferral), so the split is tracked. Each rejection
+    /// is attributed to exactly one axis, so these sum to `rejected`.
     pub rejected_on: [usize; N_RESOURCES],
     /// Rejections that were wasteful: the batch's *actual* demand would have
     /// fit in the actual headroom at decision time (stranded capacity).
     pub rejected_would_fit: usize,
     /// Decisions after which the actual in-flight demand exceeded the
     /// budget on some gated resource — the failure mode admission control
-    /// exists to prevent.
+    /// exists to prevent. A decision that overruns several resources at
+    /// once still counts **one** event here (see
+    /// [`AdmissionStats::overflow_on`] for the per-resource split).
     pub overflow_events: usize,
+    /// Per-resource overflow attribution (in [`ResourceKind::ALL`] order):
+    /// how often each gated resource was over budget after a decision. A
+    /// joint memory+CPU overflow increments both axes but only one
+    /// [`AdmissionStats::overflow_events`].
+    pub overflow_on: [usize; N_RESOURCES],
     /// Worst actual in-flight memory observed (MB).
     pub peak_actual_mb: f64,
     /// Worst actual in-flight demand observed, per resource.
@@ -73,14 +93,6 @@ impl AdmissionStats {
     }
 }
 
-/// One executing batch.
-#[derive(Debug, Clone, Copy)]
-struct InFlight {
-    id: u64,
-    predicted: ResourceVector,
-    actual: ResourceVector,
-}
-
 /// A budgeted admission gate over a stream of predicted workloads.
 ///
 /// Decisions are made against *predicted* occupancy (the controller only
@@ -88,10 +100,13 @@ struct InFlight {
 /// detected against *actual* occupancy (what the hardware experiences).
 /// Budget components set to `f64::INFINITY` are not gated — the default
 /// constructor gates memory only, preserving the paper's scenario.
+///
+/// Internally this is one [`Executor`] of the [`crate::cluster`] capacity
+/// model; multi-executor placement with SLAs and deferral lives in
+/// `wmp_sched`.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
-    budget: ResourceVector,
-    in_flight: Vec<InFlight>,
+    executor: Executor,
     next_id: u64,
     stats: AdmissionStats,
     last_rejected_on: Option<ResourceKind>,
@@ -108,8 +123,7 @@ impl AdmissionController {
     /// to `f64::INFINITY` are not gated.
     pub fn with_budget(budget: ResourceVector) -> Self {
         AdmissionController {
-            budget,
-            in_flight: Vec::new(),
+            executor: Executor::new(budget),
             next_id: 0,
             stats: AdmissionStats::default(),
             last_rejected_on: None,
@@ -119,18 +133,26 @@ impl AdmissionController {
     /// Adds a concurrent-CPU-work ceiling (in milliseconds of in-flight CPU
     /// demand) next to the existing budget components.
     pub fn with_cpu_budget(mut self, cpu_ms: f64) -> Self {
-        self.budget.cpu_ms = cpu_ms;
+        let mut budget = self.executor.capacity();
+        budget.cpu_ms = cpu_ms;
+        self.executor.set_capacity(budget);
         self
     }
 
     /// The configured memory budget (MB).
     pub fn budget_mb(&self) -> f64 {
-        self.budget.memory_mb
+        self.executor.capacity().memory_mb
     }
 
     /// The full per-resource budget (ungated components are infinite).
     pub fn budget(&self) -> ResourceVector {
-        self.budget
+        self.executor.capacity()
+    }
+
+    /// The underlying single-executor capacity model (running set,
+    /// reserved/actual occupancy views).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
     }
 
     /// Predicted memory currently admitted (MB) — the gate's world view.
@@ -145,31 +167,18 @@ impl AdmissionController {
 
     /// Predicted per-resource demand currently admitted.
     pub fn predicted_in_flight(&self) -> ResourceVector {
-        self.in_flight.iter().map(|b| b.predicted).sum()
+        self.executor.reserved()
     }
 
     /// Actual per-resource demand currently admitted.
     pub fn actual_in_flight(&self) -> ResourceVector {
-        self.in_flight.iter().map(|b| b.actual).sum()
+        self.executor.actual()
     }
 
     /// The resource that caused the most recent rejection, if the last
     /// offer was rejected.
     pub fn last_rejected_on(&self) -> Option<ResourceKind> {
         self.last_rejected_on
-    }
-
-    /// First gated resource on which `occupancy + demand` exceeds the
-    /// budget, in [`ResourceKind::ALL`] order.
-    fn first_overrun(
-        &self,
-        occupancy: ResourceVector,
-        demand: ResourceVector,
-    ) -> Option<ResourceKind> {
-        ResourceKind::ALL.into_iter().find(|&kind| {
-            self.budget.get(kind).is_finite()
-                && occupancy.get(kind) + demand.get(kind) > self.budget.get(kind)
-        })
     }
 
     /// Offers one memory-only workload (CPU/IO demand zero) — the paper's
@@ -185,88 +194,95 @@ impl AdmissionController {
     /// predicted headroom on **every** gated resource. `actual` is the
     /// ground truth used for overflow/waste accounting — a real gate never
     /// sees it at decision time, and neither does the admit/reject choice
-    /// here.
+    /// here. The admit/reject choice is one [`Executor::try_admit`] call,
+    /// so joint budgets cannot diverge from the single-resource path.
     pub fn offer_resources(
         &mut self,
         predicted: ResourceVector,
         actual: ResourceVector,
     ) -> Admission {
-        let predicted_occupancy = self.predicted_in_flight();
-        if let Some(kind) = self.first_overrun(predicted_occupancy, predicted) {
-            self.stats.rejected += 1;
-            self.stats.rejected_on[kind.index()] += 1;
-            self.last_rejected_on = Some(kind);
-            let would_fit = self.first_overrun(self.actual_in_flight(), actual).is_none();
-            if would_fit {
-                self.stats.rejected_would_fit += 1;
-            }
-            wmp_obs::event!(
-                wmp_obs::Level::Debug,
-                target: "wmp_sim::admission",
-                "admission_decision",
-                admitted = false,
-                rejected_on = kind.label(),
-                predicted_mb = predicted.memory_mb,
-                predicted_cpu_ms = predicted.cpu_ms,
-                predicted_occupancy_mb = predicted_occupancy.memory_mb,
-                budget_mb = self.budget.memory_mb,
-                would_fit = would_fit,
-            );
-            return Admission::Rejected;
-        }
-        self.last_rejected_on = None;
+        let predicted_occupancy = self.executor.reserved();
         let id = self.next_id;
-        self.next_id += 1;
-        self.in_flight.push(InFlight { id, predicted, actual });
-        self.stats.admitted += 1;
-        self.stats.admitted_actual_mb += actual.memory_mb;
-        let occupied = self.actual_in_flight();
-        self.stats.peak_actual = self.stats.peak_actual.component_max(occupied);
-        self.stats.peak_actual_mb = self.stats.peak_actual.memory_mb;
-        wmp_obs::event!(
-            wmp_obs::Level::Debug,
-            target: "wmp_sim::admission",
-            "admission_decision",
-            admitted = true,
-            predicted_mb = predicted.memory_mb,
-            predicted_cpu_ms = predicted.cpu_ms,
-            predicted_occupancy_mb = predicted_occupancy.memory_mb,
-            budget_mb = self.budget.memory_mb,
-        );
-        if let Some(kind) = self.first_overrun(occupied, ResourceVector::ZERO) {
-            self.stats.overflow_events += 1;
-            wmp_obs::event!(
-                wmp_obs::Level::Warn,
-                target: "wmp_sim::admission",
-                "budget_overflow",
-                resource = kind.label(),
-                actual_occupancy_mb = occupied.memory_mb,
-                budget_mb = self.budget.memory_mb,
-                in_flight = self.in_flight.len(),
-            );
+        match self.executor.try_admit(id, predicted, actual) {
+            Err(CapacityExceeded(kind)) => {
+                self.stats.rejected += 1;
+                self.stats.rejected_on[kind.index()] += 1;
+                self.last_rejected_on = Some(kind);
+                let would_fit = self.executor.actual_fits(actual);
+                if would_fit {
+                    self.stats.rejected_would_fit += 1;
+                }
+                wmp_obs::event!(
+                    wmp_obs::Level::Debug,
+                    target: "wmp_sim::admission",
+                    "admission_decision",
+                    admitted = false,
+                    rejected_on = kind.label(),
+                    predicted_mb = predicted.memory_mb,
+                    predicted_cpu_ms = predicted.cpu_ms,
+                    predicted_occupancy_mb = predicted_occupancy.memory_mb,
+                    budget_mb = self.executor.capacity().memory_mb,
+                    would_fit = would_fit,
+                );
+                Admission::Rejected
+            }
+            Ok(()) => {
+                self.last_rejected_on = None;
+                self.next_id += 1;
+                self.stats.admitted += 1;
+                self.stats.admitted_actual_mb += actual.memory_mb;
+                let occupied = self.executor.actual();
+                self.stats.peak_actual = self.stats.peak_actual.component_max(occupied);
+                self.stats.peak_actual_mb = self.stats.peak_actual.memory_mb;
+                wmp_obs::event!(
+                    wmp_obs::Level::Debug,
+                    target: "wmp_sim::admission",
+                    "admission_decision",
+                    admitted = true,
+                    predicted_mb = predicted.memory_mb,
+                    predicted_cpu_ms = predicted.cpu_ms,
+                    predicted_occupancy_mb = predicted_occupancy.memory_mb,
+                    budget_mb = self.executor.capacity().memory_mb,
+                );
+                let overruns = self.executor.actual_overruns();
+                if overruns.any() {
+                    // One episode per decision, attributed to every
+                    // over-budget axis — the deduplicated counting the old
+                    // per-resource loop could not express.
+                    self.stats.overflow_events += 1;
+                    for kind in overruns.iter() {
+                        self.stats.overflow_on[kind.index()] += 1;
+                    }
+                    wmp_obs::event!(
+                        wmp_obs::Level::Warn,
+                        target: "wmp_sim::admission",
+                        "budget_overflow",
+                        resource = overruns.first().expect("any() implies first").label(),
+                        actual_occupancy_mb = occupied.memory_mb,
+                        budget_mb = self.executor.capacity().memory_mb,
+                        in_flight = self.executor.running(),
+                    );
+                }
+                Admission::Admitted(id)
+            }
         }
-        Admission::Admitted(id)
     }
 
     /// Completes an admitted batch, releasing its resources. Unknown ids
     /// are ignored (idempotent completion).
     pub fn complete(&mut self, id: u64) {
-        self.in_flight.retain(|b| b.id != id);
+        self.executor.release(id);
     }
 
     /// Completes the oldest admitted batch, if any, and returns its id —
     /// convenience for fixed-concurrency replay loops.
     pub fn complete_oldest(&mut self) -> Option<u64> {
-        if self.in_flight.is_empty() {
-            return None;
-        }
-        let id = self.in_flight.remove(0).id;
-        Some(id)
+        self.executor.release_oldest().map(|w| w.id)
     }
 
     /// Batches currently executing.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+        self.executor.running()
     }
 
     /// Tallies so far.
@@ -305,6 +321,7 @@ mod tests {
         assert!(gate.offer(30.0, 70.0).admitted());
         let stats = gate.stats();
         assert_eq!(stats.overflow_events, 1, "140 MB actual > 100 MB budget");
+        assert_eq!(stats.overflow_on[ResourceKind::Memory.index()], 1);
         assert!((stats.peak_actual_mb - 140.0).abs() < 1e-9);
         assert_eq!(stats.wrong_decisions(), 1);
     }
@@ -365,8 +382,47 @@ mod tests {
         assert!(gate.offer_resources(predicted, actual).admitted());
         let stats = gate.stats();
         assert_eq!(stats.overflow_events, 1, "180 ms actual CPU > 100 ms budget");
+        assert_eq!(stats.overflow_on[ResourceKind::Cpu.index()], 1);
+        assert_eq!(stats.overflow_on[ResourceKind::Memory.index()], 0);
         assert!((stats.peak_actual.cpu_ms - 180.0).abs() < 1e-9);
         assert!(stats.peak_actual_mb <= 1000.0);
+    }
+
+    #[test]
+    fn joint_over_budget_rejection_is_counted_exactly_once() {
+        // Regression: a workload over budget on memory AND CPU in the same
+        // window must produce one rejection attributed to one axis — the
+        // decision path is a single Executor::try_admit, not one check per
+        // resource.
+        let mut gate = AdmissionController::new(100.0).with_cpu_budget(100.0);
+        let both_over = ResourceVector::new(150.0, 150.0, 0.0);
+        assert_eq!(gate.offer_resources(both_over, both_over), Admission::Rejected);
+        let stats = gate.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(
+            stats.rejected_on.iter().sum::<usize>(),
+            1,
+            "one rejection, one attributed axis: {:?}",
+            stats.rejected_on
+        );
+        assert_eq!(gate.last_rejected_on(), Some(ResourceKind::Memory));
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn joint_overflow_episode_counts_one_event_with_both_axes_attributed() {
+        // Regression companion: an admission whose reality overruns memory
+        // AND CPU at once is one overflow episode (one event) attributed to
+        // both axes — not two events.
+        let mut gate = AdmissionController::new(100.0).with_cpu_budget(100.0);
+        let predicted = ResourceVector::new(40.0, 40.0, 0.0);
+        let actual = ResourceVector::new(120.0, 130.0, 0.0);
+        assert!(gate.offer_resources(predicted, actual).admitted());
+        let stats = gate.stats();
+        assert_eq!(stats.overflow_events, 1, "one episode");
+        assert_eq!(stats.overflow_on[ResourceKind::Memory.index()], 1);
+        assert_eq!(stats.overflow_on[ResourceKind::Cpu.index()], 1);
+        assert_eq!(stats.overflow_on[ResourceKind::Io.index()], 0);
     }
 
     #[test]

@@ -12,15 +12,21 @@
 //! - [`admission::AdmissionController`] — a closed-loop admission-control
 //!   scenario: a budgeted gate admits workloads on *predicted* memory while
 //!   admitted batches occupy their *actual* memory, so prediction error
-//!   surfaces as overflow events or stranded capacity.
+//!   surfaces as overflow events or stranded capacity;
+//! - [`cluster::Executor`] / [`cluster::Cluster`] — the capacity-accounting
+//!   substrate under admission control: per-executor reserved-vs-actual
+//!   occupancy over a [`wmp_plan::ResourceVector`] capacity, the model the
+//!   multi-tenant scheduler (`wmp_sched`) scales to N executors.
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cluster;
 pub mod executor;
 pub mod heuristic;
 pub mod noise;
 
 pub use admission::{Admission, AdmissionController, AdmissionStats};
+pub use cluster::{ActualOverruns, CapacityExceeded, Cluster, Executor, PlacedWorkload};
 pub use executor::{ExecutorSimulator, MemProfile, MemoryConfig, MB};
 pub use heuristic::{DbmsHeuristicEstimator, HeuristicConfig};

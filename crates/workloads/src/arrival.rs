@@ -1,0 +1,138 @@
+//! Arrival processes: how workload windows are spaced in virtual time when
+//! a query log is replayed against a scheduler or serving loop.
+//!
+//! The generators produce *inter-arrival gaps* in ticks, deterministically
+//! from a seeded [`rand::rngs::StdRng`], so a replay is reproducible from
+//! `(log seed, arrival seed)` alone. Three shapes cover the evaluation
+//! regimes:
+//!
+//! - [`ArrivalProcess::Uniform`] — fixed spacing, the closed-form sanity
+//!   case;
+//! - [`ArrivalProcess::Poisson`] — exponential gaps (memoryless open
+//!   arrivals), the steady-state cloud regime;
+//! - [`ArrivalProcess::Bursty`] — an on/off modulated Poisson: bursts of
+//!   tightly spaced arrivals separated by quiet gaps, the regime where
+//!   queueing (and thus prediction-aware placement) actually matters.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An inter-arrival gap generator (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Every arrival exactly `gap_ticks` after the previous one.
+    Uniform {
+        /// Fixed gap between consecutive arrivals (clamped to ≥ 1).
+        gap_ticks: u64,
+    },
+    /// Exponential gaps with the given mean (a Poisson arrival process).
+    Poisson {
+        /// Mean inter-arrival gap in ticks (must be > 0).
+        mean_gap_ticks: f64,
+    },
+    /// Markov-modulated Poisson: while "on", gaps are exponential with
+    /// `burst_gap_ticks`; each arrival ends the burst with probability
+    /// `1 / mean_burst_len`, inserting an additional exponential
+    /// `idle_gap_ticks` pause before the next burst.
+    Bursty {
+        /// Mean gap between arrivals inside a burst (must be > 0).
+        burst_gap_ticks: f64,
+        /// Mean gap between bursts (must be > 0).
+        idle_gap_ticks: f64,
+        /// Mean number of arrivals per burst (clamped to ≥ 1).
+        mean_burst_len: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Samples the gap (ticks, ≥ 1) between the previous arrival and the
+    /// next one. Deterministic in the RNG state.
+    pub fn next_gap(&self, rng: &mut StdRng) -> u64 {
+        let gap = match *self {
+            ArrivalProcess::Uniform { gap_ticks } => gap_ticks.max(1) as f64,
+            ArrivalProcess::Poisson { mean_gap_ticks } => exponential(rng, mean_gap_ticks),
+            ArrivalProcess::Bursty { burst_gap_ticks, idle_gap_ticks, mean_burst_len } => {
+                let mut gap = exponential(rng, burst_gap_ticks);
+                if rng.gen_bool(1.0 / mean_burst_len.max(1.0)) {
+                    gap += exponential(rng, idle_gap_ticks);
+                }
+                gap
+            }
+        };
+        (gap.round() as u64).max(1)
+    }
+
+    /// The process's long-run mean gap in ticks (exact, not sampled) —
+    /// useful for sizing cluster capacity against offered load.
+    pub fn mean_gap_ticks(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Uniform { gap_ticks } => gap_ticks.max(1) as f64,
+            ArrivalProcess::Poisson { mean_gap_ticks } => mean_gap_ticks.max(f64::MIN_POSITIVE),
+            ArrivalProcess::Bursty { burst_gap_ticks, idle_gap_ticks, mean_burst_len } => {
+                burst_gap_ticks + idle_gap_ticks / mean_burst_len.max(1.0)
+            }
+        }
+    }
+}
+
+/// Exponential sample with the given mean via inverse transform. The
+/// uniform draw is clamped away from 1 so the log argument stays positive.
+fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().min(1.0 - 1e-12);
+    -mean.max(f64::MIN_POSITIVE) * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_gaps_are_constant_and_nonzero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ArrivalProcess::Uniform { gap_ticks: 7 };
+        for _ in 0..10 {
+            assert_eq!(p.next_gap(&mut rng), 7);
+        }
+        assert_eq!(ArrivalProcess::Uniform { gap_ticks: 0 }.next_gap(&mut rng), 1);
+    }
+
+    #[test]
+    fn poisson_gaps_average_near_the_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = ArrivalProcess::Poisson { mean_gap_ticks: 100.0 };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "sampled mean {mean} too far from 100");
+        assert!((p.mean_gap_ticks() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_mixes_tight_and_idle_gaps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = ArrivalProcess::Bursty {
+            burst_gap_ticks: 10.0,
+            idle_gap_ticks: 1_000.0,
+            mean_burst_len: 20.0,
+        };
+        let gaps: Vec<u64> = (0..5_000).map(|_| p.next_gap(&mut rng)).collect();
+        let tight = gaps.iter().filter(|&&g| g < 100).count();
+        let idle = gaps.iter().filter(|&&g| g >= 100).count();
+        assert!(tight > idle * 5, "most gaps are intra-burst ({tight} vs {idle})");
+        assert!(idle > 50, "idle periods do occur ({idle})");
+        // Long-run mean = 10 + 1000/20 = 60.
+        assert!((p.mean_gap_ticks() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_are_deterministic_in_the_seed() {
+        let sample = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = ArrivalProcess::Poisson { mean_gap_ticks: 50.0 };
+            (0..100).map(|_| p.next_gap(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(3), sample(3));
+        assert_ne!(sample(3), sample(4));
+    }
+}

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod job;
 pub mod log;
 pub mod params;
@@ -18,4 +19,5 @@ pub mod tpcc;
 pub mod tpcds;
 pub mod tpch;
 
+pub use arrival::ArrivalProcess;
 pub use log::{build_log, build_record, QueryLog, QueryRecord, SqlLineError, NO_TEMPLATE_HINT};

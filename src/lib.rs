@@ -14,7 +14,8 @@
 //! | [`mlkit`] ([`wmp_mlkit`]) | from-scratch ML: k-means, DBSCAN, Ridge, CART, Random Forest, GBDT, MLP |
 //! | [`plan`] ([`wmp_plan`]) | schema/catalog, cardinality estimation, physical planner, plan features |
 //! | [`serve`] ([`wmp_serve`]) | thread-safe serving engine: streaming windows, shared handles, hot model swap |
-//! | [`sim`] ([`wmp_sim`]) | executor memory simulator (ground truth) + DBMS heuristic baseline + admission scenario |
+//! | [`sched`] ([`wmp_sched`]) | discrete-event multi-tenant capacity scheduler: placement policies, SLA costs, log replay |
+//! | [`sim`] ([`wmp_sim`]) | executor memory simulator (ground truth) + DBMS heuristic baseline + admission scenario + executor/cluster capacity model |
 //! | [`sql`] ([`wmp_sql`]) | SQL front-end: tokenizer, dialect-aware parser, lowering to [`plan`] query specs |
 //! | [`workloads`] ([`wmp_workloads`]) | TPC-DS / JOB / TPC-C / TPC-H style generators and query logs |
 //! | [`text`] ([`wmp_text`]) | SQL tokenization, bag-of-words, text-mining, word embeddings |
@@ -78,11 +79,36 @@
 //! assert_eq!(spec.tables[0].table, "lineitem");
 //! assert_eq!(spec.predicates.len(), 1);
 //! ```
+//!
+//! ## Scheduling
+//!
+//! [`sched`] closes the loop from prediction to decision: it replays a
+//! query log as workload windows arriving at a capacity-bounded
+//! [`sim::Cluster`] and measures what a placement policy's demand
+//! estimates cost — SLA penalties for late starts, stranded capacity for
+//! over-reservation, overflow episodes for under-prediction.
+//!
+//! ```
+//! use learnedwmp::plan::ResourceVector;
+//! use learnedwmp::sched::{replay, BestFit, DemandSource, ReplayConfig, Scheduler, SlaClass};
+//! use learnedwmp::sim::Cluster;
+//!
+//! let log = learnedwmp::workloads::tpch::generate(300, 7).unwrap();
+//! let cluster = Cluster::uniform(3, ResourceVector::new(192.0, f64::INFINITY, f64::INFINITY));
+//! let scheduler = Scheduler::new(cluster, Box::new(BestFit))
+//!     .with_sla_classes(vec![SlaClass::new(500, 10.0)]);
+//! let report =
+//!     replay(&log, DemandSource::Oracle, scheduler, &ReplayConfig::default()).unwrap();
+//! // Every window ends in exactly one outcome, and the run is costed.
+//! assert_eq!(report.placed() + report.rejected, report.workloads);
+//! assert!(report.total_cost() >= 0.0);
+//! ```
 
 pub use learnedwmp_core as core;
 pub use wmp_mlkit as mlkit;
 pub use wmp_obs as obs;
 pub use wmp_plan as plan;
+pub use wmp_sched as sched;
 pub use wmp_serve as serve;
 pub use wmp_sim as sim;
 pub use wmp_sql as sql;

@@ -1,0 +1,127 @@
+//! Scheduler safety properties over randomized workload logs:
+//!
+//! 1. **Capacity invariant** — no placement policy ever pushes an
+//!    executor's *reserved* occupancy past its `ResourceVector` capacity on
+//!    any gated axis, at any point during a run.
+//! 2. **Conservation** — every submitted workload ends in exactly one
+//!    outcome: placed at arrival, deferred-then-placed, or rejected; the
+//!    deferral queue fully drains.
+//!
+//! Both hold for *every* policy by construction (the scheduler re-checks
+//! placements through `Executor::try_admit`), and the property tests
+//! enforce that the construction actually delivers across first-fit,
+//! best-fit, and prediction-aware placement on randomized arrival
+//! sequences, demands, and cluster shapes.
+
+use learnedwmp::plan::ResourceVector;
+use learnedwmp::sched::{
+    BestFit, FirstFit, PlacementPolicy, PredictionAware, Scheduler, SlaClass, Submitted,
+    WorkloadRequest,
+};
+use learnedwmp::sim::Cluster;
+use proptest::prelude::*;
+
+/// One randomized workload: (arrival gap, duration, decision MB, decision
+/// CPU ms, actual MB, actual CPU ms). Decision and actual are drawn
+/// independently so both over- and under-prediction occur.
+type RawWorkload = (u64, u64, f64, f64, f64, f64);
+
+fn arb_workloads() -> impl Strategy<Value = Vec<RawWorkload>> {
+    prop::collection::vec(
+        (0u64..40, 1u64..60, 1.0f64..160.0, 0.0f64..900.0, 1.0f64..160.0, 0.0f64..900.0),
+        1..80,
+    )
+}
+
+fn policies() -> Vec<Box<dyn PlacementPolicy>> {
+    vec![Box::new(FirstFit), Box::new(BestFit), Box::new(PredictionAware::new(1.25))]
+}
+
+/// Runs `raw` through a fresh scheduler per policy, asserting the capacity
+/// invariant after every submission and conservation at the end.
+fn check_policies(raw: &[RawWorkload], executors: usize, capacity: ResourceVector) {
+    for policy in policies() {
+        let name = policy.name();
+        let mut sched = Scheduler::new(Cluster::uniform(executors, capacity), policy)
+            .with_sla_classes(vec![SlaClass::new(50, 5.0), SlaClass::new(500, 1.0)]);
+        let mut arrival = 0u64;
+        let mut outcomes = [0usize; 3]; // placed, deferred, rejected
+        for (i, &(gap, duration, dec_mb, dec_cpu, act_mb, act_cpu)) in raw.iter().enumerate() {
+            arrival += gap;
+            let outcome = sched.submit(WorkloadRequest {
+                id: i as u64,
+                tenant: i,
+                arrival,
+                duration,
+                decision: ResourceVector::new(dec_mb, dec_cpu, 0.0),
+                actual: ResourceVector::new(act_mb, act_cpu, 0.0),
+                queries: 1,
+            });
+            match outcome {
+                Submitted::Placed(_) => outcomes[0] += 1,
+                Submitted::Deferred => outcomes[1] += 1,
+                Submitted::Rejected => outcomes[2] += 1,
+            }
+            assert_reserved_within_capacity(sched.cluster(), name);
+        }
+        let report = sched.run_to_completion();
+        assert_reserved_within_capacity(sched.cluster(), name);
+        // Conservation: exactly one terminal outcome per workload.
+        assert_eq!(report.workloads, raw.len(), "{name}: every submission counted");
+        assert_eq!(
+            report.placed() + report.rejected,
+            report.workloads,
+            "{name}: placed + rejected covers all workloads"
+        );
+        assert_eq!(sched.queue_depth(), 0, "{name}: deferral queue fully drained");
+        assert_eq!(report.placed_direct, outcomes[0], "{name}: direct placements");
+        assert_eq!(report.rejected, outcomes[2], "{name}: rejections decided at submit");
+        // Deferred submissions were all eventually placed (never re-rejected).
+        assert_eq!(report.placed_deferred, outcomes[1], "{name}: deferred all placed");
+        assert_eq!(
+            sched.cluster().total_running(),
+            0,
+            "{name}: run_to_completion leaves no residue"
+        );
+    }
+}
+
+fn assert_reserved_within_capacity(cluster: &Cluster, policy: &str) {
+    for (i, executor) in cluster.executors().iter().enumerate() {
+        let reserved = executor.reserved();
+        let capacity = executor.capacity();
+        for kind in learnedwmp::plan::ResourceKind::ALL {
+            if capacity.get(kind).is_finite() {
+                assert!(
+                    reserved.get(kind) <= capacity.get(kind) + 1e-9,
+                    "{policy}: executor {i} reserved {} > capacity {} on {}",
+                    reserved.get(kind),
+                    capacity.get(kind),
+                    kind.label(),
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_policy_exceeds_capacity_and_every_workload_is_accounted(
+        raw in arb_workloads(),
+        executors in 1usize..5,
+    ) {
+        // Joint memory+CPU gating: demands near the top of the draw range
+        // can never fit (⇒ rejections exercised), most fit only serially
+        // (⇒ deferrals exercised).
+        check_policies(&raw, executors, ResourceVector::new(200.0, 1_000.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn memory_only_budgets_hold_the_same_invariants(
+        raw in arb_workloads(),
+    ) {
+        check_policies(&raw, 2, ResourceVector::new(150.0, f64::INFINITY, f64::INFINITY));
+    }
+}
