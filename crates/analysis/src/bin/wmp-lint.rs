@@ -1,0 +1,115 @@
+//! The `wmp-lint` CLI: runs every registered project lint over the
+//! workspace and exits nonzero on violations.
+//!
+//! ```text
+//! wmp-lint [--root <dir>] [--rules <id,id,…>] [--json <path>] [--list]
+//! ```
+//!
+//! Without `--root`, the workspace root is found by walking up from the
+//! current directory to the first directory containing `crates/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wmp_analysis::all_rules;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wmp-lint [--root <dir>] [--rules <id,id,...>] [--json <path>] [--list]\n\
+         \n\
+         Runs the LearnedWMP project lints and exits 1 on violations.\n\
+         --root   workspace root (default: nearest ancestor containing crates/)\n\
+         --rules  comma-separated subset of rule ids to run\n\
+         --json   also write the machine-readable report to <path>\n\
+         --list   print the rule registry and exit"
+    );
+    std::process::exit(2)
+}
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut rule_filter: Option<Vec<String>> = None;
+    let mut list = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--json" => json_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--rules" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                rule_filter = Some(spec.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--list" => list = true,
+            _ => usage(),
+        }
+    }
+
+    let mut rules = all_rules();
+    if list {
+        for rule in &rules {
+            println!("{:<16} {}", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(filter) = &rule_filter {
+        let known: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+        for id in filter {
+            if !known.contains(&id.as_str()) {
+                eprintln!("wmp-lint: unknown rule `{id}` (known: {})", known.join(", "));
+                return ExitCode::from(2);
+            }
+        }
+        rules.retain(|r| filter.iter().any(|id| id == r.id()));
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("wmp-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match wmp_analysis::run(&root, &rules) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("wmp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for diagnostic in &report.diagnostics {
+        println!("{diagnostic}");
+    }
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("wmp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let scanned = report.files_scanned;
+    if report.is_clean() {
+        println!("wmp-lint: clean ({scanned} files, {} rules)", report.rules.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "wmp-lint: {} violation(s) across {scanned} files — fix or justify with \
+             `lint: allow(<rule>, <reason>)`",
+            report.diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,132 @@
+//! Diagnostics and the machine-readable lint report.
+
+use std::fmt;
+
+/// One lint violation, anchored to a `file:line:col` span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `no_hot_panic`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: [{}] {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// The outcome of one lint run over a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Rules that ran, in registry order.
+    pub rules: Vec<&'static str>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Violations, sorted by `(file, line, col, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the machine-readable JSON report (schema version 1):
+    /// `{"schema_version":1,"rules":[…],"files_scanned":N,
+    ///   "violations":[{"rule","file","line","col","message"}…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema_version\":1,\"rules\":[");
+        for (i, rule) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(rule);
+            out.push('"');
+        }
+        out.push_str("],\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"violations\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":\"");
+            out.push_str(d.rule);
+            out.push_str("\",\"file\":\"");
+            out.push_str(&escape(&d.file));
+            out.push_str("\",\"line\":");
+            out.push_str(&d.line.to_string());
+            out.push_str(",\"col\":");
+            out.push_str(&d.col.to_string());
+            out.push_str(",\"message\":\"");
+            out.push_str(&escape(&d.message));
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_clickable() {
+        let d = Diagnostic {
+            rule: "no_hot_panic",
+            file: "crates/serve/src/engine.rs".to_string(),
+            line: 10,
+            col: 5,
+            message: "`.unwrap()` in hot-path code".to_string(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/serve/src/engine.rs:10:5: [no_hot_panic] `.unwrap()` in hot-path code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_messages() {
+        let report = Report {
+            rules: vec!["no_hot_panic"],
+            files_scanned: 1,
+            diagnostics: vec![Diagnostic {
+                rule: "no_hot_panic",
+                file: "a.rs".to_string(),
+                line: 1,
+                col: 1,
+                message: "say \"hi\"\n".to_string(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\\\"hi\\\"\\n"));
+        assert!(json.starts_with("{\"schema_version\":1"));
+    }
+}

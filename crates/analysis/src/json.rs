@@ -1,0 +1,321 @@
+//! A minimal, position-tracking JSON parser for validating committed
+//! `BENCH_*.json` files (rule [`crate::rules::BenchSchema`]).
+//!
+//! Independent of `wmp_obs::JsonValue` on purpose: the linter must keep
+//! working even when the workspace it lints does not compile. Every parsed
+//! value remembers the 1-based `(line, col)` where it starts, so schema
+//! violations point at the offending key, not just the file.
+
+use std::collections::BTreeMap;
+
+/// A JSON value annotated with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value {
+    /// 1-based line of the value's first byte.
+    pub line: usize,
+    /// 1-based column of the value's first byte.
+    pub col: usize,
+    /// The value itself.
+    pub kind: Kind,
+}
+
+/// JSON value kinds. Object keys keep insertion order is not required for
+/// validation, so members are stored sorted by key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kind {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; duplicate keys keep the last value.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup for objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match &self.kind {
+            Kind::Object(members) => members.get(key),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match &self.kind {
+            Kind::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match &self.kind {
+            Kind::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.kind {
+            Kind::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match &self.kind {
+            Kind::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value kind (for diagnostics).
+    pub fn kind_name(&self) -> &'static str {
+        match &self.kind {
+            Kind::Null => "null",
+            Kind::Bool(_) => "bool",
+            Kind::Number(_) => "number",
+            Kind::String(_) => "string",
+            Kind::Array(_) => "array",
+            Kind::Object(_) => "object",
+        }
+    }
+}
+
+/// A parse failure with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Parses a complete JSON document, rejecting trailing input.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, line: 1, col: 1 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing input after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.bump();
+                Ok(())
+            }
+            Some(got) => {
+                Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char)))
+            }
+            None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), ParseError> {
+        for expected in word.bytes() {
+            match self.bump() {
+                Some(b) if b == expected => {}
+                _ => return Err(self.err(format!("invalid literal (expected `{word}`)"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        let (line, col) = (self.line, self.col);
+        let kind = match self.peek() {
+            Some(b'{') => {
+                self.bump();
+                let mut members = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                } else {
+                    loop {
+                        self.skip_ws();
+                        let key = self.string_body()?;
+                        self.skip_ws();
+                        self.expect(b':')?;
+                        self.skip_ws();
+                        let value = self.value()?;
+                        members.insert(key, value);
+                        self.skip_ws();
+                        match self.bump() {
+                            Some(b',') => continue,
+                            Some(b'}') => break,
+                            _ => return Err(self.err("expected `,` or `}` in object")),
+                        }
+                    }
+                }
+                Kind::Object(members)
+            }
+            Some(b'[') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                } else {
+                    loop {
+                        self.skip_ws();
+                        items.push(self.value()?);
+                        self.skip_ws();
+                        match self.bump() {
+                            Some(b',') => continue,
+                            Some(b']') => break,
+                            _ => return Err(self.err("expected `,` or `]` in array")),
+                        }
+                    }
+                }
+                Kind::Array(items)
+            }
+            Some(b'"') => Kind::String(self.string_body()?),
+            Some(b't') => {
+                self.literal("true")?;
+                Kind::Bool(true)
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Kind::Bool(false)
+            }
+            Some(b'n') => {
+                self.literal("null")?;
+                Kind::Null
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid number"))?;
+                let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+                Kind::Number(n)
+            }
+            Some(other) => return Err(self.err(format!("unexpected byte `{}`", other as char))),
+            None => return Err(self.err("unexpected end of input")),
+        };
+        Ok(Value { line, col, kind })
+    }
+
+    fn string_body(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-assemble a multi-byte UTF-8 sequence.
+                    let mut buf = vec![b];
+                    while self.peek().is_some_and(|n| n & 0xc0 == 0x80) {
+                        buf.push(self.bump().unwrap_or_default());
+                    }
+                    out.push_str(&String::from_utf8_lossy(&buf));
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents_with_positions() {
+        let doc = parse("{\n  \"a\": [1, 2.5, true],\n  \"b\": {\"c\": \"x\"}\n}").unwrap();
+        assert_eq!(doc.line, 1);
+        let a = doc.get("a").unwrap();
+        assert_eq!(a.line, 2);
+        assert_eq!(a.as_array().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn rejects_trailing_and_malformed_input() {
+        assert!(parse("{} {}").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        let err = parse("{\n  \"a\": nope\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let doc = parse("\"a\\n\\u0041\"").unwrap();
+        assert_eq!(doc.as_str(), Some("a\nA"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Deliberately bad: unjustified atomic orderings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    hits: AtomicU64,
+}
+
+impl Stats {
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn read(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    pub fn justified(&self) -> u64 {
+        // ordering: Relaxed — advisory counter read, fixture-justified.
+        self.hits.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,15 @@
+//! Deliberately bad: a codec whose tag space violates the append-only
+//! policy and whose version constants are incoherent.
+
+pub const FORMAT_VERSION: u16 = 1;
+pub const MIN_FORMAT_VERSION: u16 = 2;
+
+const SECTION_TAGS: &[(u8, &str)] = &[
+    (1, "alpha"),
+    (3, "beta"),
+    (2, "gamma"),
+    (3, "delta"),
+];
+
+const WRAPPER_PLAIN: u8 = 0;
+const WRAPPER_FANCY: u8 = 0;

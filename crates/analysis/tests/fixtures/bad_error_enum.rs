@@ -1,0 +1,20 @@
+//! Deliberately bad: a public error enum without the evolution contract.
+
+use std::fmt;
+
+/// Missing `#[non_exhaustive]`, and its `Display` hides variants behind a
+/// wildcard arm.
+#[derive(Debug)]
+pub enum FixtureError {
+    Broken,
+    Missing,
+}
+
+impl fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixtureError::Broken => write!(f, "broken"),
+            _ => write!(f, "other"),
+        }
+    }
+}

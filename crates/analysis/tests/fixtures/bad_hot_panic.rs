@@ -1,0 +1,25 @@
+//! Deliberately bad: panicking constructs on the hot path.
+//! Kept under tests/fixtures/ so the workspace walker never lints it;
+//! the lint test suite loads it by hand and asserts the exact spans.
+
+pub fn scale(values: &[f64]) -> f64 {
+    let first = values.first().unwrap();
+    let parsed: f64 = "3.2".parse().expect("literal parses");
+    if values.len() > 3 {
+        panic!("too many values");
+    }
+    first + parsed
+}
+
+pub fn allowed(values: &[f64]) -> f64 {
+    // lint: allow(no_hot_panic, fixture demonstrates a justified site)
+    values.first().unwrap() + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_test_code_unwrap_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Deliberately bad: metric registrations that drift from the catalog.
+
+use std::sync::Arc;
+
+pub struct Registry;
+
+impl Registry {
+    pub fn counter(&self, name: &str, help: &str) -> Arc<u64> {
+        let _ = (name, help);
+        Arc::new(0)
+    }
+
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<u64> {
+        let _ = (name, help);
+        Arc::new(0)
+    }
+}
+
+pub fn register(r: &Registry) {
+    let _ = r.counter("wmp_fixture_requests", "bad: counter without _total");
+    let _ = r.gauge("wmp_Fixture_depth", "bad: uppercase violates naming");
+    let _ = r.counter("wmp_fixture_good_total", "cataloged correctly");
+}

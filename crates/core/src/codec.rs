@@ -88,18 +88,26 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     bytes.iter().fold(FNV_OFFSET, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
 }
 
+/// The template-learner tag space: `(tag, learner name)` pairs, declared in
+/// assignment order. The tag space is **append-only** — tags are written
+/// into artifacts, so an entry may never be removed, renumbered, or reused;
+/// new learners take the next free tag at the end. The `codec_tags` lint
+/// checks uniqueness and monotonic assignment of this table.
+const TEMPLATE_TAGS: &[(u8, &str)] = &[
+    (1, "query_plan"),
+    (2, "rule_based"),
+    (3, "bag_of_words"),
+    (4, "text_mining"),
+    (5, "word_embeddings"),
+    (6, "dbscan"),
+];
+
 fn template_tag(name: &str) -> MlResult<u8> {
-    match name {
-        "query_plan" => Ok(1),
-        "rule_based" => Ok(2),
-        "bag_of_words" => Ok(3),
-        "text_mining" => Ok(4),
-        "word_embeddings" => Ok(5),
-        "dbscan" => Ok(6),
-        other => Err(c::codec_err(format!(
-            "cannot persist custom template learner '{other}' (no registered codec tag)"
-        ))),
-    }
+    TEMPLATE_TAGS.iter().find(|&&(_, n)| n == name).map(|&(tag, _)| tag).ok_or_else(|| {
+        c::codec_err(format!(
+            "cannot persist custom template learner '{name}' (no registered codec tag)"
+        ))
+    })
 }
 
 fn read_template(tag: u8, r: &mut dyn Read) -> MlResult<Box<dyn TemplateLearner>> {
@@ -349,7 +357,10 @@ impl LearnedWmp {
             )));
         }
         let (body, tail) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum"));
+        let stored = tail
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| c::codec_err("truncated checksum trailer"))?;
         let computed = fnv1a64(body);
         if stored != computed {
             return Err(c::codec_err(format!(

@@ -57,6 +57,7 @@ impl Default for EvalConfig {
 
 /// One evaluated model — one bar in Figs. 4–8.
 #[derive(Debug, Clone)]
+#[must_use = "an evaluation report is the experiment's result — render or assert on it"]
 pub struct ModelReport {
     /// "LearnedWMP", "SingleWMP", or "SingleWMP-DBMS".
     pub approach: &'static str,

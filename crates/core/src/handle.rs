@@ -165,12 +165,16 @@ impl PredictorHandle {
         // Allocate the version while holding the write lock so published
         // versions are monotonic in installation order even under
         // concurrent writers.
+        // ordering: Relaxed — the write lock already serializes allocators;
+        // the counter only needs atomicity, not publication.
         let version = self.state.next_version.fetch_add(1, Ordering::Relaxed);
         let previous = std::mem::replace(
             &mut *slot,
             ModelSnapshot { model, version, installed_at: Instant::now() },
         );
         drop(slot);
+        // ordering: Relaxed — monotonic statistic; readers tolerate a
+        // momentarily stale count and never derive invariants from it.
         self.state.swaps.fetch_add(1, Ordering::Relaxed);
         wmp_obs::event!(
             Level::Info,
@@ -191,6 +195,7 @@ impl PredictorHandle {
 
     /// Number of swaps installed through this handle (all clones included).
     pub fn swap_count(&self) -> u64 {
+        // ordering: Relaxed — advisory statistic, no synchronization implied.
         self.state.swaps.load(Ordering::Relaxed)
     }
 }

@@ -13,6 +13,7 @@ use crate::template::{PlanKMeansTemplates, TemplateLearner};
 
 /// What one [`OnlineWmp::observe`] call did with the observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "signals whether a retrain happened — callers must at least check for Retrained"]
 pub enum RetrainOutcome {
     /// The query was buffered; `seen` observations have accumulated since
     /// the last (re)training.
@@ -233,7 +234,7 @@ mod tests {
         let log = wmp_workloads::tpcc::generate(500, 2).unwrap();
         let mut online = OnlineWmp::new(config(), policy(200, 150));
         for r in &log.records {
-            online.observe(r.clone(), &log.catalog).unwrap();
+            let _ = online.observe(r.clone(), &log.catalog).unwrap();
         }
         assert_eq!(online.window_len(), 150);
     }
@@ -264,7 +265,7 @@ mod tests {
 
         let mut online = OnlineWmp::new(config(), policy(400, 600));
         for r in &phase1.records {
-            online.observe(r.clone(), &phase1.catalog).unwrap();
+            let _ = online.observe(r.clone(), &phase1.catalog).unwrap();
         }
         assert_eq!(online.retrain_count(), 1);
         // Evaluate the stale model on phase-2 workloads.
@@ -284,7 +285,7 @@ mod tests {
         };
         let stale = eval(&online, &phase2);
         for r in &phase2.records {
-            online.observe(r.clone(), &phase2.catalog).unwrap();
+            let _ = online.observe(r.clone(), &phase2.catalog).unwrap();
         }
         assert!(online.retrain_count() >= 2);
         let fresh = eval(&online, &phase2);
@@ -362,7 +363,7 @@ mod tests {
         let log = wmp_workloads::tpcc::generate(5, 3).unwrap();
         let mut online = OnlineWmp::new(config(), policy(1000, 1000));
         for r in &log.records {
-            online.observe(r.clone(), &log.catalog).unwrap();
+            let _ = online.observe(r.clone(), &log.catalog).unwrap();
         }
         // 5 records < batch_size 10: retraining cannot form a workload.
         assert!(online.retrain(&log.catalog).is_err());

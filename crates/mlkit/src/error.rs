@@ -3,7 +3,12 @@
 use std::fmt;
 
 /// Errors produced by estimators in this crate.
+///
+/// Marked `#[non_exhaustive]`: new failure modes appear as the substrate
+/// grows, and downstream crates must match with a wildcard arm so that is
+/// never a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MlError {
     /// Input matrices/vectors disagree on a dimension.
     DimensionMismatch {

@@ -30,11 +30,15 @@ impl Counter {
 
     /// Increments by `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — independent monotonic counter; scrapes only
+        // need an eventually-consistent point-in-time value.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — scrape reads are advisory, never ordered
+        // against the instrumented operations they count.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -48,19 +52,23 @@ pub struct Gauge {
 impl Gauge {
     /// Sets the gauge.
     pub fn set(&self, value: f64) {
+        // ordering: Relaxed — last-writer-wins sample; no other memory is
+        // published alongside the gauge bits.
         self.bits.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Adds `delta` (compare-and-swap loop; gauges are low-frequency).
     pub fn add(&self, delta: f64) {
+        // ordering: Relaxed — the CAS loop only needs atomicity of the one
+        // cell; no cross-variable ordering hangs off a gauge update.
         let mut current = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + delta).to_bits();
             match self.bits.compare_exchange_weak(
                 current,
                 next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // ordering: same-cell CAS, no dependent loads
+                Ordering::Relaxed, // ordering: failure reload of the same cell
             ) {
                 Ok(_) => return,
                 Err(actual) => current = actual,
@@ -70,6 +78,7 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // ordering: Relaxed — advisory scrape read of one atomic cell.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -137,8 +146,10 @@ fn bucket_range(i: usize) -> (f64, f64) {
 impl Histogram {
     /// Records one sample.
     pub fn record(&self, value: u64) {
+        // ordering: Relaxed — bucket and sum are sampled independently;
+        // scrapes tolerate a count/sum tear between the two updates.
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed); // ordering: same contract
     }
 
     /// Records a duration in whole microseconds.
@@ -148,15 +159,19 @@ impl Histogram {
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — the per-bucket sum is already a racy snapshot
+        // by construction; stronger ordering would not make it consistent.
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
     /// Sum of all recorded samples (wrapping).
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — advisory scrape read.
         self.sum.load(Ordering::Relaxed)
     }
 
     fn counts(&self) -> Vec<u64> {
+        // ordering: Relaxed — same racy-snapshot contract as count().
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
@@ -339,10 +354,12 @@ impl Registry {
         let mut entries = self.entries.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(entry) = entries.iter().find(|e| e.name == name && e.labels == labels) {
             return extract(&entry.instrument).unwrap_or_else(|| {
+                // lint: allow(no_hot_panic, registering one name as two instrument kinds is a programming error caught at startup, not a runtime condition)
                 panic!("metric {name:?} already registered as a {}", entry.instrument.kind())
             });
         }
         let instrument = make();
+        // lint: allow(no_hot_panic, extract and make are paired by the caller one line up — a mismatch cannot depend on runtime input)
         let handle = extract(&instrument).expect("freshly built instrument matches its kind");
         entries.push(Entry { name: name.to_string(), help: help.to_string(), labels, instrument });
         handle

@@ -337,11 +337,17 @@ static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
 /// the old or the new subscriber.
 pub fn set_subscriber(subscriber: Arc<dyn Subscriber>) {
     *SUBSCRIBER.write().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(subscriber);
+    // ordering: Release pairs with no Acquire on purpose — the flag is a
+    // hint; readers that see it set re-check under the SUBSCRIBER lock,
+    // whose own synchronization publishes the subscriber itself.
     ACTIVE.store(true, Ordering::Release);
 }
 
 /// Removes the global subscriber, restoring the free-when-off fast path.
 pub fn clear_subscriber() {
+    // ordering: Release — clear the hint before tearing down the
+    // subscriber; stragglers that still see `true` take the lock and find
+    // `None`, which dispatch handles.
     ACTIVE.store(false, Ordering::Release);
     *SUBSCRIBER.write().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
 }
@@ -349,6 +355,8 @@ pub fn clear_subscriber() {
 /// True when a subscriber is installed and accepts `level` — the macro
 /// fast-path check. One relaxed load when tracing is off.
 pub fn tracing_enabled(level: Level) -> bool {
+    // ordering: Relaxed — missing a just-installed subscriber for a few
+    // events is acceptable; a true reading is confirmed under the lock.
     if !ACTIVE.load(Ordering::Relaxed) {
         return false;
     }
@@ -362,6 +370,7 @@ pub fn tracing_enabled(level: Level) -> bool {
 /// Sends `event` to the installed subscriber, if any. Prefer the
 /// [`crate::event!`] macro, which guards with [`tracing_enabled`] first.
 pub fn dispatch(event: &Event) {
+    // ordering: Relaxed — same hint-then-lock protocol as tracing_enabled.
     if !ACTIVE.load(Ordering::Relaxed) {
         return;
     }

@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors produced while planning a query against a catalog.
+///
+/// Marked `#[non_exhaustive]`: planners gain failure modes as operator
+/// coverage grows; downstream matches carry a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PlanError {
     /// The query references a table the catalog does not define.
     UnknownTable(String),

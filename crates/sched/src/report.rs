@@ -30,6 +30,7 @@ impl Default for CostModel {
 /// two runs with identical inputs must produce *identical* reports — the
 /// determinism contract the replay tests pin down.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a schedule report is the outcome of the run — inspect or persist it"]
 pub struct ScheduleReport {
     /// Placement policy name.
     pub policy: String,

@@ -362,9 +362,8 @@ impl Scheduler {
         // One overflow episode per placement decision whose aftermath has
         // actual occupancy over capacity somewhere in the cluster's
         // touched executor — mirrors AdmissionController::offer counting.
-        let overruns =
-            self.cluster.executors().iter().map(|e| e.actual_overruns()).find(|o| o.any());
-        if let Some(overruns) = overruns {
+        let overrun = self.cluster.executors().iter().find_map(|e| e.actual_overruns().first());
+        if let Some(overrun) = overrun {
             self.overflow_events += 1;
             if let Some(obs) = &self.obs {
                 obs.overflows.inc();
@@ -374,7 +373,7 @@ impl Scheduler {
                 target: "wmp_sched",
                 "capacity_overflow",
                 id = waiting.request.id,
-                resource = overruns.first().expect("any() implies first").label(),
+                resource = overrun.label(),
                 tick = now,
             );
         }
@@ -396,12 +395,14 @@ impl Scheduler {
         let finish = self.clock + request.duration.max(1);
         self.completions.push(Reverse((finish, request.id, {
             // The executor index in the heap key is informational; release
-            // is by id, searched on the recorded executor.
+            // is by id, so an unfindable workload (which would mean admit
+            // and push_completion disagree) degrades to a sentinel key
+            // rather than unwinding the scheduling loop.
             self.cluster
                 .executors()
                 .iter()
                 .position(|e| e.workloads().iter().any(|w| w.id == request.id))
-                .expect("workload was just admitted")
+                .unwrap_or(usize::MAX)
         })));
         self.makespan = self.makespan.max(finish);
     }

@@ -160,7 +160,11 @@ impl Engine {
                         match published {
                             Ok(model) => {
                                 let outcome = handle.swap(model);
+                                // ordering: Relaxed — advisory counters; the
+                                // model swap itself synchronizes via the
+                                // handle's lock.
                                 stats.swaps.fetch_add(1, Ordering::Relaxed);
+                                // ordering: Relaxed — advisory counter.
                                 stats.retrains.fetch_add(1, Ordering::Relaxed);
                                 if let Some(obs) = &obs {
                                     obs.swaps.inc();
@@ -175,6 +179,7 @@ impl Engine {
                                 );
                             }
                             Err(e) => {
+                                // ordering: Relaxed — advisory failure count.
                                 stats.retrain_failures.fetch_add(1, Ordering::Relaxed);
                                 if let Some(obs) = &obs {
                                     obs.retrain_failures.inc();
@@ -190,6 +195,7 @@ impl Engine {
                     }
                     Ok(_) => {}
                     Err(e) => {
+                        // ordering: Relaxed — advisory failure count.
                         stats.retrain_failures.fetch_add(1, Ordering::Relaxed);
                         if let Some(obs) = &obs {
                             obs.retrain_failures.inc();
@@ -213,9 +219,14 @@ impl Engine {
     /// a [`WindowPolicy::Count`] window, the window is scored on the calling
     /// thread before returning (so the returned ticket is already resolved).
     pub fn submit(&self, record: QueryRecord) -> QueryTicket {
+        // ordering: Relaxed — ticket sequence numbers only need uniqueness,
+        // not ordering against any other memory.
         let seq = self.query_seq.fetch_add(1, Ordering::Relaxed);
         // `submitted` increments before the query enters the pending window
         // — rule 1 of the stats coherence contract (see `crate::stats`).
+        // ordering: Relaxed — the Acquire snapshot reads pair with the
+        // Release resolution counters; `submitted` only has to be counted
+        // before the pending-lock release orders it for window scorers.
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &self.obs {
             obs.submitted.inc();
@@ -323,6 +334,7 @@ impl Engine {
 
     fn score_window(&self, window: Pending) {
         debug_assert_eq!(window.records.len(), window.tickets.len());
+        // ordering: Relaxed — window ids need uniqueness only.
         let window_id = self.window_seq.fetch_add(1, Ordering::Relaxed);
         let span = wmp_obs::span!(
             Level::Debug,
@@ -337,6 +349,7 @@ impl Engine {
         let result = snapshot.predict_resources(&refs);
         let elapsed = t0.elapsed();
         self.stats.latency.record_duration(elapsed);
+        // ordering: Relaxed — advisory window count.
         self.stats.windows.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &self.obs {
             obs.score_latency.record_duration(elapsed);
@@ -351,6 +364,8 @@ impl Engine {
         // these increments become visible.
         let resolution = match result {
             Ok(predicted) => {
+                // ordering: Release — pairs with EngineStats::snapshot's
+                // Acquire loads (rule 2, see the comment block above).
                 self.stats.served.fetch_add(n, Ordering::Release);
                 if let Some(obs) = &self.obs {
                     obs.served.add(n);
@@ -363,6 +378,7 @@ impl Engine {
                 })
             }
             Err(e) => {
+                // ordering: Release — same pairing as `served` above.
                 self.stats.failed.fetch_add(n, Ordering::Release);
                 if let Some(obs) = &self.obs {
                     obs.failed.add(n);
@@ -399,6 +415,8 @@ impl Engine {
         let Some(retrainer) = &self.retrainer else { return false };
         let Some(tx) = &retrainer.tx else { return false };
         if tx.send(record).is_ok() {
+            // ordering: Relaxed — advisory count; the channel send is the
+            // synchronizing operation.
             self.stats.observed.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -424,6 +442,8 @@ impl Engine {
     /// swaps concurrently).
     pub fn install(&self, model: impl WorkloadPredictor + 'static) -> u64 {
         let outcome = self.handle.swap(model);
+        // ordering: Relaxed — advisory counter; the swap's lock publishes
+        // the model itself.
         self.stats.swaps.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &self.obs {
             obs.swaps.inc();

@@ -281,7 +281,7 @@ mod tests {
             .with_observability(config);
 
         for r in &log.records[..40] {
-            engine.submit(r.clone());
+            let _ = engine.submit(r.clone());
         }
         // No retrainer attached: observe still feeds quality + drift.
         for r in &log.records[..40] {
@@ -329,7 +329,7 @@ mod tests {
                 let records = &log.records;
                 scope.spawn(move || {
                     for r in records[t * 100..(t + 1) * 100].iter() {
-                        engine.submit(r.clone());
+                        let _ = engine.submit(r.clone());
                     }
                 });
             }

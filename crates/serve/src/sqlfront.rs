@@ -52,11 +52,13 @@ impl SqlFrontend {
 
     /// Statements successfully parsed, lowered, and planned.
     pub fn parse_ok(&self) -> u64 {
+        // ordering: Relaxed — advisory statistic.
         self.parse_ok.load(Ordering::Relaxed)
     }
 
     /// Statements rejected (with a typed [`ParseError`]).
     pub fn parse_errors(&self) -> u64 {
+        // ordering: Relaxed — advisory statistic.
         self.parse_errors.load(Ordering::Relaxed)
     }
 
@@ -68,15 +70,18 @@ impl SqlFrontend {
     /// lower); counters are updated either way.
     pub fn record(&self, sql: &str) -> SqlResult<QueryRecord> {
         let result = self.record_inner(sql);
+        // ordering: Relaxed — independent counters; no reader correlates
+        // them with the returned record.
         match &result {
-            Ok(_) => self.parse_ok.fetch_add(1, Ordering::Relaxed),
-            Err(_) => self.parse_errors.fetch_add(1, Ordering::Relaxed),
+            Ok(_) => self.parse_ok.fetch_add(1, Ordering::Relaxed), // ordering: see above
+            Err(_) => self.parse_errors.fetch_add(1, Ordering::Relaxed), // ordering: see above
         };
         result
     }
 
     fn record_inner(&self, sql: &str) -> SqlResult<QueryRecord> {
         let mut spec = wmp_sql::parse_to_spec(sql, self.dialect.as_ref(), &self.catalog)?;
+        // ordering: Relaxed — ids need uniqueness only.
         spec.id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let planner = Planner::new(&self.catalog);
         build_record(
@@ -103,6 +108,9 @@ fn plan_to_parse_error(e: PlanError) -> ParseError {
         }
         PlanError::UnknownAlias(alias) => ParseError::UnknownAlias { alias, span },
         PlanError::NoTables => ParseError::Unsupported { what: "query without tables", span },
+        // PlanError is #[non_exhaustive]; render future variants through
+        // their Display rather than failing to compile against wmp_plan.
+        other => ParseError::Planner { message: other.to_string(), span },
     }
 }
 

@@ -74,16 +74,24 @@ impl EngineStats {
     /// order that makes `submitted >= served + failed + pending` hold under
     /// concurrency (see the [module docs](self)).
     pub(crate) fn snapshot_with_pending(&self, pending: impl FnOnce() -> u64) -> StatsSnapshot {
+        // ordering: Acquire on served/failed pairs with the engine's
+        // Release increments — everything the scorer did before resolving
+        // (including removing the window from pending) is visible before
+        // `pending` is sampled below.
         let served = self.served.load(Ordering::Acquire);
-        let failed = self.failed.load(Ordering::Acquire);
+        let failed = self.failed.load(Ordering::Acquire); // ordering: same pairing
         let pending = pending();
+        // ordering: Relaxed for the rest — advisory counters with no
+        // inequality contract tied to them.
         let windows = self.windows.load(Ordering::Relaxed);
-        let swaps = self.swaps.load(Ordering::Relaxed);
-        let observed = self.observed.load(Ordering::Relaxed);
-        let retrains = self.retrains.load(Ordering::Relaxed);
-        let retrain_failures = self.retrain_failures.load(Ordering::Relaxed);
+        let swaps = self.swaps.load(Ordering::Relaxed); // ordering: advisory
+        let observed = self.observed.load(Ordering::Relaxed); // ordering: advisory
+        let retrains = self.retrains.load(Ordering::Relaxed); // ordering: advisory
+        let retrain_failures = self.retrain_failures.load(Ordering::Relaxed); // ordering: advisory
         let p50_latency_us = self.latency.quantile_upper_bound(0.50);
         let p99_latency_us = self.latency.quantile_upper_bound(0.99);
+        // ordering: Relaxed — sampled last so the submitted >= served +
+        // failed + pending inequality can only over-count, never under.
         let submitted = self.submitted.load(Ordering::Relaxed);
         StatsSnapshot {
             submitted,

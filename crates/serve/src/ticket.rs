@@ -57,6 +57,7 @@ impl TicketState {
 
 /// A pending prediction for one submitted query. Cheap to move across
 /// threads; `wait` blocks until the query's window has been scored.
+#[must_use = "dropping a ticket loses the only way to read this query's prediction"]
 pub struct QueryTicket {
     pub(crate) seq: u64,
     pub(crate) state: Arc<TicketState>,

@@ -245,7 +245,7 @@ impl AdmissionController {
                     budget_mb = self.executor.capacity().memory_mb,
                 );
                 let overruns = self.executor.actual_overruns();
-                if overruns.any() {
+                if let Some(first_overrun) = overruns.first() {
                     // One episode per decision, attributed to every
                     // over-budget axis — the deduplicated counting the old
                     // per-resource loop could not express.
@@ -257,7 +257,7 @@ impl AdmissionController {
                         wmp_obs::Level::Warn,
                         target: "wmp_sim::admission",
                         "budget_overflow",
-                        resource = overruns.first().expect("any() implies first").label(),
+                        resource = first_overrun.label(),
                         actual_occupancy_mb = occupied.memory_mb,
                         budget_mb = self.executor.capacity().memory_mb,
                         in_flight = self.executor.running(),

@@ -46,7 +46,11 @@ impl fmt::Display for Span {
 }
 
 /// Errors produced while tokenizing, parsing, or lowering SQL text.
+///
+/// Marked `#[non_exhaustive]`: the dialect grows new rejection cases;
+/// downstream matches carry a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ParseError {
     /// A character outside the SQL lexical grammar (tokenizer).
     UnexpectedChar {
@@ -96,6 +100,14 @@ pub enum ParseError {
         /// The construct (e.g. "HAVING clause", "scalar subquery").
         what: &'static str,
         /// Where it starts.
+        span: Span,
+    },
+    /// A planner rejection surfaced through the SQL front-end (lowering
+    /// already resolved identifiers, so these indicate catalog drift).
+    Planner {
+        /// The planner error, rendered.
+        message: String,
+        /// Zero span: the failure is not tied to a byte range.
         span: Span,
     },
     /// A numeric token that does not fit its slot (e.g. a LIMIT overflow).
@@ -161,7 +173,8 @@ impl ParseError {
             | ParseError::UnknownColumn { span, .. }
             | ParseError::UnknownAlias { span, .. }
             | ParseError::AmbiguousColumn { span, .. }
-            | ParseError::DuplicateAlias { span, .. } => *span,
+            | ParseError::DuplicateAlias { span, .. }
+            | ParseError::Planner { span, .. } => *span,
         }
     }
 
@@ -182,6 +195,7 @@ impl ParseError {
             ParseError::UnknownAlias { .. } => "unknown_alias",
             ParseError::AmbiguousColumn { .. } => "ambiguous_column",
             ParseError::DuplicateAlias { .. } => "duplicate_alias",
+            ParseError::Planner { .. } => "planner",
         }
     }
 }
@@ -228,6 +242,9 @@ impl fmt::Display for ParseError {
             }
             ParseError::DuplicateAlias { alias, span } => {
                 write!(f, "duplicate table alias {alias:?} at {span}")
+            }
+            ParseError::Planner { message, span } => {
+                write!(f, "planner rejected lowered query: {message} at {span}")
             }
         }
     }
